@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark suite.
+
+``REPRO_SCALE`` scales the working sets (1.0 = the paper's Table 1 sizes).
+The default of 0.25 keeps a full ``pytest benchmarks/`` run to a couple of
+minutes while preserving every qualitative relationship; the recorded
+EXPERIMENTS.md numbers were produced at scale 1.0.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

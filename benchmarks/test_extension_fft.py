@@ -1,0 +1,47 @@
+"""Extension bench — transpose-based FFT ("ongoing work", §5.4).
+
+The paper closes its evaluation noting that "experiments with more and
+larger codes" are ongoing. This bench adds one: a four-step FFT whose
+transpose step is an all-to-all — a communication pattern none of the
+Table 1 codes exercises — and measures how each platform handles it.
+
+Expected shape: the transpose is a bus blip on the SMP, a latency-bound
+page-fault storm on the SW-DSM, and a bandwidth-bound write stream on the
+hybrid — so the platform ranking from Figure 4 persists, with the
+SW-DSM's gap widening on this pattern.
+"""
+
+from repro.bench.report import render_table
+from repro.bench.runners import run_app_on
+from repro.config import preset
+
+
+def test_extension_fft_all_to_all(benchmark, scale):
+    n = max(32, (int(256 * scale) // 16) * 16)
+
+    def run():
+        out = {}
+        for platform in ("smp-2", "sw-dsm-2", "hybrid-2"):
+            merged = run_app_on(preset(platform), "fft", n1=n, n2=n)
+            out[platform] = merged.phases
+        return out
+
+    phases = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[platform,
+             round(p["total"] * 1e3, 2),
+             round(p["transpose"] * 1e3, 2),
+             round(p["transpose"] / p["total"] * 100, 1)]
+            for platform, p in phases.items()]
+    print()
+    print(render_table(
+        ["platform", "total (ms)", "transpose (ms)", "transpose %"],
+        rows, title=f"Extension: FFT all-to-all transpose (N = {n}x{n})"))
+    benchmark.extra_info["phases"] = {
+        k: {p: float(v) for p, v in ph.items()} for k, ph in phases.items()}
+
+    # Platform ranking persists on the new pattern.
+    assert phases["hybrid-2"]["total"] < phases["sw-dsm-2"]["total"]
+    # The all-to-all hits the SW-DSM hardest.
+    share_sw = phases["sw-dsm-2"]["transpose"] / phases["sw-dsm-2"]["total"]
+    share_smp = phases["smp-2"]["transpose"] / phases["smp-2"]["total"]
+    assert share_sw > share_smp

@@ -1,0 +1,93 @@
+"""Extension bench — multi-DSM composition (§6 future work).
+
+The paper's closing hypothesis: no single DSM dominates; performance
+depends on per-data-structure access patterns, so combining DSM mechanisms
+within one application yields custom-tailored solutions. This bench builds
+that application:
+
+* a **read-mostly table**, re-read by every rank each iteration with rare
+  updates — the *caching* SW-DSM serves it from local copies, while the
+  hybrid DSM pays wire latency on every remote re-read;
+* a **write-once stream**, each rank overwriting remote-homed pages each
+  iteration — the hybrid DSM's posted writes win, while the SW-DSM pays
+  fetch + twin + diff per page.
+
+Three configurations run the identical code: everything-on-SW-DSM,
+everything-on-hybrid, and the composite (table on SW-DSM, stream on
+hybrid). The composite must beat both pure platforms.
+"""
+
+import numpy as np
+
+from repro.bench.report import render_table
+from repro.config import ClusterConfig, preset
+from repro.memory.layout import single_home
+
+ITERATIONS = 8
+
+
+def _app(env, dsm, table_system, stream_system, holders):
+    n_table, n_stream = 16384, 16384  # 128 KiB each (32 pages)
+    if env.rank == 0:
+        make = getattr(dsm, "make_array_on", None)
+        if make is not None:
+            holders["table"] = make(table_system, (n_table,), name="table",
+                                    distribution=single_home(0))
+            holders["stream"] = make(stream_system, (n_stream,), name="stream",
+                                     distribution=single_home(0))
+        else:
+            holders["table"] = dsm.make_array((n_table,), name="table",
+                                              distribution=single_home(0))
+            holders["stream"] = dsm.make_array((n_stream,), name="stream",
+                                               distribution=single_home(0))
+        holders["table"][:] = 1.0
+    env.barrier()
+    table, stream = holders["table"], holders["stream"]
+    chunk = n_stream // env.n_ranks
+    lo = env.rank * chunk
+    acc = 0.0
+    for it in range(ITERATIONS):
+        acc += float(table[:].sum())           # read-mostly: whole table
+        stream[lo:lo + chunk] = float(it)      # write-once stream chunk
+        env.compute(2.0 * n_table)
+        env.barrier()
+        if env.rank == 0 and it % 4 == 3:
+            table[0:64] = float(it)            # the rare table update
+            env.barrier()
+        elif it % 4 == 3:
+            env.barrier()
+    return acc
+
+
+def _run(platform_cfg, table_system, stream_system):
+    plat = platform_cfg.build()
+    holders = {}
+    results = plat.hamster.run_spmd(
+        lambda env: _app(env, plat.dsm, table_system, stream_system, holders))
+    assert len(set(results)) == 1, "ranks disagreed on the table contents"
+    return plat.engine.now
+
+
+def test_extension_multidsm(benchmark, scale):
+    def run():
+        times = {
+            "pure SW-DSM": _run(preset("sw-dsm-4"), "jiajia", "jiajia"),
+            "pure hybrid": _run(preset("hybrid-4"), "scivm", "scivm"),
+            "composite": _run(
+                ClusterConfig(platform="sci", dsm="composite", nodes=4,
+                              name="composite-4"),
+                "jiajia", "scivm"),
+        }
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, round(t * 1e3, 3)] for name, t in times.items()]
+    print()
+    print(render_table(["configuration", "time (ms)"], rows,
+                       title="Extension: per-structure DSM selection "
+                             "(read-mostly table + write stream)"))
+    benchmark.extra_info["times_ms"] = {k: v * 1e3 for k, v in times.items()}
+
+    # The custom-tailored combination beats both single-mechanism setups.
+    assert times["composite"] < times["pure SW-DSM"], times
+    assert times["composite"] < times["pure hybrid"], times

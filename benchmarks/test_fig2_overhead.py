@@ -1,0 +1,39 @@
+"""Figure 2 — overhead of execution with HAMSTER compared to native
+execution on JiaJia (4 nodes).
+
+Runs every benchmark label on the same 4-node Ethernet cluster twice:
+once against the unmodified-JiaJia baseline (direct DSM binding, separate
+messaging stack) and once through HAMSTER (service dispatch + coalesced
+messaging), and reports the overhead percentage per label — positive =
+degradation, negative = gain, exactly Figure 2's convention.
+
+Shape assertions (the paper's §5.3 claims):
+* every overhead is single-digit: within (-10%, +10%),
+* the whole set lies within the paper's reported band extended by
+  measurement slack: slowdowns < 6.5%, speedups < ~5%,
+* both signs occur — HAMSTER sometimes wins (messaging integration),
+  sometimes loses (call + protocol-hook overhead).
+"""
+
+from repro.bench.report import render_bars
+from repro.bench.runners import figure2_overhead
+
+
+def test_figure2_overhead(benchmark, scale):
+    overheads = benchmark.pedantic(
+        lambda: figure2_overhead(scale=scale), rounds=1, iterations=1)
+    print()
+    print(render_bars(
+        overheads,
+        title="Figure 2: Overhead of HAMSTER vs native JiaJia (4 nodes), "
+              f"scale={scale}"))
+    benchmark.extra_info["overheads_pct"] = overheads
+
+    values = list(overheads.values())
+    assert all(-10.0 < v < 10.0 for v in values), \
+        f"overhead left the single-digit regime: {overheads}"
+    assert max(values) < 6.5, "slowdown exceeds the paper's 6.5% bound"
+    assert min(values) > -6.5, "speedup far exceeds the paper's ~4.5% bound"
+    assert any(v > 0 for v in values), "expected some HAMSTER slowdowns"
+    assert any(v < 0 for v in values), \
+        "expected some HAMSTER speedups (messaging integration)"

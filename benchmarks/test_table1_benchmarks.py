@@ -1,0 +1,69 @@
+"""Table 1 — benchmarks and their working sets.
+
+Regenerates the benchmark/working-set inventory and executes every
+benchmark once (at ``REPRO_SCALE``) on the paper's 4-node SW-DSM platform,
+verifying each against its sequential reference. The pytest-benchmark
+timing wraps the whole simulated execution; the *virtual* times (what the
+paper's tables report) land in ``extra_info``.
+"""
+
+from repro.apps.common import APP_TABLE
+from repro.bench.report import render_table
+from repro.bench.runners import WORKLOADS, run_app_on
+from repro.config import preset
+
+
+def test_table1_inventory(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [(name, entry["description"], entry["working_set"])
+                 for name, entry in APP_TABLE.items()],
+        rounds=1, iterations=1)
+    print()
+    print(render_table(["bench", "description", "working set (paper)"], rows,
+                       title="Table 1: Benchmarks and Their Working Sets "
+                             "(+ fft extension)"))
+    assert len(rows) == 6  # the paper's five + the fft extension
+
+
+def _bench_app(benchmark, label, scale):
+    wl = WORKLOADS[label]
+    params = wl.params(scale)
+    config = preset("sw-dsm-4")
+
+    def run():
+        return run_app_on(config, wl.app, **params)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.verified
+    benchmark.extra_info["virtual_seconds"] = result.phases["total"]
+    benchmark.extra_info["params"] = params
+    print(f"\n  {label}: virtual={result.phases['total']:.4f}s "
+          f"params={params} verified={result.verified}")
+
+
+def test_matmult(benchmark, scale):
+    _bench_app(benchmark, "MatMult", scale)
+
+
+def test_pi(benchmark, scale):
+    _bench_app(benchmark, "PI", scale)
+
+
+def test_sor_optimized(benchmark, scale):
+    _bench_app(benchmark, "SOR opt", scale)
+
+
+def test_sor_unoptimized(benchmark, scale):
+    _bench_app(benchmark, "SOR", scale)
+
+
+def test_lu(benchmark, scale):
+    _bench_app(benchmark, "LU all", scale)
+
+
+def test_water_288(benchmark, scale):
+    _bench_app(benchmark, "WATER 288", scale)
+
+
+def test_water_343(benchmark, scale):
+    _bench_app(benchmark, "WATER 343", scale)

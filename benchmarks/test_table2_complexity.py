@@ -1,0 +1,64 @@
+"""Table 2 — implementation complexity of programming models.
+
+Regenerates the paper's measurement: for every model layer, the normalized
+line count, the number of API calls, and lines per call. Asserts the
+paper's headline claims: every model is a thin layer (< 25 lines/call on
+average), the JiaJia subset is the thinnest, and the thread APIs are the
+heaviest (their forwarding machinery included, as in the paper).
+"""
+
+from repro.bench.loc_metrics import model_complexity_table
+from repro.bench.report import render_table
+
+#: Paper's Table 2, for side-by-side printing.
+PAPER_TABLE2 = {
+    "SPMD model": (502, 23, 21.8),
+    "SMP/SPMD model": (581, 25, 23.2),
+    "ANL macros": (146, 20, 7.3),
+    "TreadMarks API": (326, 13, 25.1),
+    "HLRC API": (137, 25, 5.5),
+    "JiaJia API (subset)": (43, 7, 6.1),
+    "POSIX threads": (725, 51, 14.2),
+    "WIN32 threads": (988, 42, 23.5),
+    "Cray put/get (shmem) API": (505, 29, 17.4),
+}
+
+
+def test_table2_complexity(benchmark):
+    rows = benchmark.pedantic(model_complexity_table, rounds=1, iterations=1)
+    by_name = {r.model: r for r in rows}
+
+    printable = []
+    for name, row in by_name.items():
+        p_lines, p_calls, p_ratio = PAPER_TABLE2[name]
+        printable.append([name, row.lines, row.api_calls,
+                          round(row.lines_per_call, 1),
+                          p_lines, p_calls, p_ratio])
+    print()
+    print(render_table(
+        ["model", "lines", "#calls", "lines/call",
+         "paper lines", "paper #calls", "paper l/c"],
+        printable,
+        title="Table 2: Implementation Complexity of Programming Models"))
+
+    # ------------------------------------------------- paper-shape checks
+    total_lines = sum(r.lines for r in rows)
+    total_calls = sum(r.api_calls for r in rows)
+    average = total_lines / total_calls
+    print(f"\n  average lines/call = {average:.1f} (paper: < 25)")
+    assert average < 25, "models are no longer thin layers"
+
+    jia = by_name["JiaJia API (subset)"]
+    assert jia.lines == min(r.lines for r in rows), \
+        "the JiaJia subset should be the thinnest layer"
+
+    # Thread APIs (with their forwarding machinery) dominate the DSM APIs.
+    for thread_model in ("POSIX threads", "WIN32 threads"):
+        for dsm_model in ("TreadMarks API", "HLRC API", "JiaJia API (subset)"):
+            assert by_name[thread_model].lines > by_name[dsm_model].lines
+
+    # API-call counts stay close to the paper's (same API surfaces).
+    for name, row in by_name.items():
+        paper_calls = PAPER_TABLE2[name][1]
+        assert abs(row.api_calls - paper_calls) <= 5, \
+            f"{name}: {row.api_calls} calls vs paper's {paper_calls}"

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in fully
+offline environments whose setuptools predates the built-in bdist_wheel
+(pip falls back to the legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""HAMSTER reproduction: a framework for portable shared memory programming.
+
+Reimplementation of Schulz & McKee (IPPS 2003) on a deterministic simulated
+cluster substrate. Quick start::
+
+    from repro import preset
+
+    plat = preset("sw-dsm-4").build()
+
+    def main(env, n):
+        A = env.alloc_array((n, n), name="A")
+        ...
+
+    results = plat.hamster.run_spmd(main, args=(256,))
+
+See ``examples/quickstart.py`` and the README for the full tour.
+"""
+
+from repro.config import ClusterConfig, load, loads, preset
+from repro.core.hamster import Hamster
+from repro.core.templates import SpmdEnv
+
+__version__ = "1.0.0"
+
+__all__ = ["ClusterConfig", "preset", "load", "loads", "Hamster", "SpmdEnv",
+           "__version__"]

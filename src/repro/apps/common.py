@@ -1,0 +1,118 @@
+"""Shared plumbing for the benchmark applications.
+
+Applications are written against the JiaJia API *surface* (either binding),
+partition work by rank, charge their floating-point work explicitly on
+their node, and verify their shared-memory result against a sequential
+numpy reference computed from the same seeded input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import HamsterError
+
+__all__ = ["AppResult", "compute", "memtouch", "row_block", "AppError",
+           "APP_TABLE", "get_app", "merge_rank_results"]
+
+
+class AppError(HamsterError):
+    """Raised when a benchmark fails its self-verification."""
+
+
+@dataclass
+class AppResult:
+    """Per-rank benchmark outcome."""
+
+    app: str
+    rank: int
+    #: phase name -> virtual seconds (always includes "total")
+    phases: Dict[str, float] = field(default_factory=dict)
+    verified: bool = False
+    checksum: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def compute(api, flops: float) -> None:
+    """Charge application floating-point work on the calling task's node."""
+    dsm = api.hamster.dsm
+    api.hamster.cluster.node(dsm.node_of(dsm.current_rank())).compute(flops)
+
+
+def memtouch(api, nbytes: float) -> None:
+    """Charge extra DRAM traffic beyond what the shared accesses already
+    account for (cache-miss re-reads in tight kernels — the matmult
+    memory-bound effect)."""
+    dsm = api.hamster.dsm
+    api.hamster.cluster.node(dsm.node_of(dsm.current_rank())).mem_touch(int(nbytes))
+
+
+def row_block(n_rows: int, rank: int, n_ranks: int) -> Tuple[int, int]:
+    """[lo, hi) row range of ``rank`` under contiguous block partitioning."""
+    per = n_rows // n_ranks
+    extra = n_rows % n_ranks
+    lo = rank * per + min(rank, extra)
+    hi = lo + per + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def merge_rank_results(results) -> AppResult:
+    """Fold per-rank results into the reported one: phase times are the
+    maxima across ranks (the job is done when the slowest rank is),
+    verification must hold on every rank."""
+    merged = AppResult(app=results[0].app, rank=-1)
+    for key in results[0].phases:
+        merged.phases[key] = max(r.phases.get(key, 0.0) for r in results)
+    merged.verified = all(r.verified for r in results)
+    merged.checksum = results[0].checksum
+    merged.extra = dict(results[0].extra)
+    return merged
+
+
+def _registry() -> Dict[str, Callable]:
+    from repro.apps.lu import run_lu
+    from repro.apps.matmult import run_matmult
+    from repro.apps.pi import run_pi
+    from repro.apps.sor import run_sor
+    from repro.apps.water import run_water
+
+    from repro.apps.fft import run_fft
+
+    return {
+        "matmult": run_matmult,
+        "pi": run_pi,
+        "sor": run_sor,
+        "lu": run_lu,
+        "water": run_water,
+        "fft": run_fft,  # extension: the paper's "ongoing work" direction
+    }
+
+
+#: Table 1 — benchmarks and their working sets (paper's full sizes; the
+#: harness scales these down with the ``scale`` knob for quick runs).
+APP_TABLE = {
+    "matmult": {"description": "Matrix Multiplication", "working_set": "1024x1024 matrix",
+                "params": {"n": 1024}},
+    "pi": {"description": "Computation of pi", "working_set": "2^23 intervals",
+           "params": {"intervals": 1 << 23}},
+    "sor": {"description": "Successive Over Relaxation (SOR)",
+            "working_set": "1024x1024 matrix", "params": {"n": 1024, "iterations": 10}},
+    "lu": {"description": "LU Decomposition", "working_set": "1024x1024 matrix",
+           "params": {"n": 1024, "block": 64}},
+    "water": {"description": "WATER (Molecular Simulation)",
+              "working_set": "288 / 343 molecules", "params": {"molecules": 288, "steps": 2}},
+    # Extension beyond Table 1: transpose-based FFT ("ongoing work", §5.4).
+    "fft": {"description": "1-D FFT (transpose-based, extension)",
+            "working_set": "256x256 complex points", "params": {"n1": 256, "n2": 256}},
+}
+
+
+def get_app(name: str) -> Callable:
+    """Benchmark entry point by Table 1 name."""
+    try:
+        return _registry()[name]
+    except KeyError:
+        raise AppError(f"unknown benchmark {name!r}; known: {sorted(APP_TABLE)}") from None

@@ -1,0 +1,54 @@
+"""Computation of π benchmark (Table 1).
+
+Classic numerical integration of 4/(1+x²) over [0,1]: each rank integrates
+a strided subset of intervals locally, then adds its partial sum into a
+lock-protected shared accumulator. Communication is a handful of lock
+transfers and one barrier, so π is the near-zero bar of Figures 2-4: it
+exposes pure per-call and synchronization overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.common import AppResult, compute
+
+__all__ = ["run_pi"]
+
+PI_LOCK = 3
+
+
+def run_pi(api, intervals: int = 1 << 23, verify: bool = True) -> AppResult:
+    rank, n_ranks = api.jia_init()
+
+    t0 = api.jia_wtime()
+    acc = api.jia_alloc_array((1,), np.float64, name="pi.sum")
+    if rank == 0:
+        acc[0] = 0.0
+    api.jia_barrier()
+    t_init = api.jia_wtime() - t0
+
+    t1 = api.jia_wtime()
+    h = 1.0 / intervals
+    idx = np.arange(rank, intervals, n_ranks, dtype=np.float64)
+    x = h * (idx + 0.5)
+    local = float((4.0 / (1.0 + x * x)).sum() * h)
+    compute(api, 6.0 * len(idx))
+
+    api.jia_lock(PI_LOCK)
+    acc[0] = float(acc[0]) + local
+    api.jia_unlock(PI_LOCK)
+    api.jia_barrier()
+    t_comp = api.jia_wtime() - t1
+
+    pi_value = float(acc[0])
+    verified = (abs(pi_value - math.pi) < 1e-4) if verify else True
+    api.jia_exit()
+
+    return AppResult(app="pi", rank=rank,
+                     phases={"init": t_init, "compute": t_comp,
+                             "total": t_init + t_comp},
+                     verified=verified, checksum=pi_value,
+                     extra={"intervals": intervals})

@@ -1,0 +1,111 @@
+"""WATER molecular simulation benchmark (Table 1).
+
+A WATER-style N-body molecular dynamics step, following the SPLASH/JiaJia
+code's structure: molecules are block-partitioned; each step every rank
+computes the pairwise (Lennard-Jones-like) forces for its half of the pair
+triangle, accumulates its contributions into the *shared* force array under
+section locks (the lock-heavy phase that makes WATER the synchronization
+stress test of the suite), then integrates the positions of its own
+molecules. Run at the paper's two working sets: 288 and 343 molecules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppResult, compute, row_block
+from repro.memory.layout import block
+
+__all__ = ["run_water"]
+
+#: lock-id base for the per-section force locks
+FORCE_LOCK_BASE = 100
+DT = 1e-3
+EPS = 0.25
+
+
+def _pair_forces(pos: np.ndarray, i_lo: int, i_hi: int) -> np.ndarray:
+    """Forces on all molecules from pairs (i, j>i) with i in [i_lo, i_hi)."""
+    n = pos.shape[0]
+    forces = np.zeros_like(pos)
+    for i in range(i_lo, i_hi):
+        delta = pos[i + 1:] - pos[i]                    # (n-i-1, 3)
+        r2 = (delta * delta).sum(axis=1) + EPS
+        inv = 1.0 / (r2 * r2 * np.sqrt(r2))             # ~ 1/r^5 kernel
+        f = delta * inv[:, None]
+        forces[i] -= f.sum(axis=0)
+        forces[i + 1:] += f
+    return forces
+
+
+def _reference(initial: np.ndarray, steps: int) -> np.ndarray:
+    pos = initial.copy()
+    n = pos.shape[0]
+    for _ in range(steps):
+        forces = _pair_forces(pos, 0, n)
+        pos += DT * forces
+    return pos
+
+
+def run_water(api, molecules: int = 288, steps: int = 2, seed: int = 5,
+              verify: bool = True) -> AppResult:
+    rank, n_ranks = api.jia_init()
+    n = molecules
+
+    t0 = api.jia_wtime()
+    X = api.jia_alloc_array((n, 3), np.float64, name="water.pos",
+                            distribution=block())
+    F = api.jia_alloc_array((n, 3), np.float64, name="water.frc",
+                            distribution=block())
+    rng = np.random.default_rng(seed)
+    initial = rng.random((n, 3)) * 10.0
+    lo, hi = row_block(n, rank, n_ranks)
+    X[lo:hi, :] = initial[lo:hi, :]
+    if rank == 0:
+        F[:, :] = 0.0
+    api.jia_barrier()
+    t_init = api.jia_wtime() - t0
+
+    t1 = api.jia_wtime()
+    for _ in range(steps):
+        pos = X[:, :]
+        local = _pair_forces(pos, lo, hi)
+        # WATER evaluates 9 site-pairs (3 atoms x 3 atoms) of LJ + Coulomb
+        # terms per molecule pair: ~300 flops per pair on the real kernel.
+        pairs = sum(n - i - 1 for i in range(lo, hi))
+        compute(api, 300.0 * pairs)
+
+        # Accumulate into the shared force array section by section, each
+        # guarded by its owner's lock (the WATER lock pattern).
+        for section in range(n_ranks):
+            s_lo, s_hi = row_block(n, section, n_ranks)
+            contribution = local[s_lo:s_hi, :]
+            if not contribution.any():
+                continue
+            api.jia_lock(FORCE_LOCK_BASE + section)
+            F[s_lo:s_hi, :] = F[s_lo:s_hi, :] + contribution
+            api.jia_unlock(FORCE_LOCK_BASE + section)
+        api.jia_barrier()
+
+        # Integrate own molecules, then reset own force section.
+        X[lo:hi, :] = X[lo:hi, :] + DT * F[lo:hi, :]
+        compute(api, 6.0 * (hi - lo))
+        api.jia_barrier()
+        F[lo:hi, :] = 0.0
+        api.jia_barrier()
+    t_comp = api.jia_wtime() - t1
+
+    verified = True
+    checksum = 0.0
+    if verify:
+        ref = _reference(initial, steps)
+        mine = X[lo:hi, :]
+        verified = bool(np.allclose(mine, ref[lo:hi, :], atol=1e-8))
+        checksum = float(np.abs(ref).sum())
+    api.jia_exit()
+
+    return AppResult(app=f"water{n}", rank=rank,
+                     phases={"init": t_init, "compute": t_comp,
+                             "total": t_init + t_comp},
+                     verified=verified, checksum=checksum,
+                     extra={"molecules": n, "steps": steps})

@@ -1,0 +1,32 @@
+"""Evaluation harness (§5).
+
+* :mod:`repro.bench.runners` — one entry point per table/figure: they run
+  the actual experiments and return structured rows.
+* :mod:`repro.bench.loc_metrics` — the Table 2 line-counting methodology
+  (comment/docstring stripping + logical-line normalization).
+* :mod:`repro.bench.report` — fixed-width text rendering of the rows, used
+  by the pytest benches and by EXPERIMENTS.md generation.
+"""
+
+from repro.bench.loc_metrics import count_logical_lines, model_complexity_table
+from repro.bench.runners import (
+    BENCH_LABELS,
+    figure2_overhead,
+    figure3_hybrid_vs_sw,
+    figure4_two_nodes,
+    run_app_on,
+    table1_rows,
+)
+from repro.bench.report import render_table
+
+__all__ = [
+    "BENCH_LABELS",
+    "run_app_on",
+    "table1_rows",
+    "figure2_overhead",
+    "figure3_hybrid_vs_sw",
+    "figure4_two_nodes",
+    "count_logical_lines",
+    "model_complexity_table",
+    "render_table",
+]

@@ -1,0 +1,116 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run as a module::
+
+    python -m repro.bench.experiments [scale]
+
+Produces the markdown blocks recorded in EXPERIMENTS.md. Scale 1.0 runs the
+paper's full Table 1 working sets (1024×1024 matrices, 288/343 molecules);
+the pytest benches use the same runners at reduced scale.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List
+
+from repro.bench.loc_metrics import model_complexity_table
+from repro.bench.runners import (BENCH_LABELS, figure2_overhead,
+                                 figure3_hybrid_vs_sw, figure4_two_nodes,
+                                 table1_rows)
+
+PAPER_TABLE2 = {
+    "SPMD model": (502, 23, 21.8),
+    "SMP/SPMD model": (581, 25, 23.2),
+    "ANL macros": (146, 20, 7.3),
+    "TreadMarks API": (326, 13, 25.1),
+    "HLRC API": (137, 25, 5.5),
+    "JiaJia API (subset)": (43, 7, 6.1),
+    "POSIX threads": (725, 51, 14.2),
+    "WIN32 threads": (988, 42, 23.5),
+    "Cray put/get (shmem) API": (505, 29, 17.4),
+}
+
+
+def md_table(headers: List[str], rows: List[List]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        cells = [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row]
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)
+
+
+def gen_table1() -> str:
+    rows = table1_rows()
+    return "### Table 1 — Benchmarks and their working sets\n\n" + md_table(
+        ["Benchmark", "Working set"], [list(r) for r in rows])
+
+
+def gen_table2() -> str:
+    rows = model_complexity_table()
+    printable = []
+    for r in rows:
+        p_lines, p_calls, p_ratio = PAPER_TABLE2[r.model]
+        printable.append([r.model, r.lines, r.api_calls,
+                          round(r.lines_per_call, 1),
+                          p_lines, p_calls, p_ratio])
+    avg = sum(r.lines for r in rows) / sum(r.api_calls for r in rows)
+    return ("### Table 2 — Implementation complexity of programming models\n\n"
+            + md_table(["Model", "lines", "#API calls", "lines/call",
+                        "paper lines", "paper #calls", "paper lines/call"],
+                       printable)
+            + f"\n\nAverage: **{avg:.1f} lines/call** "
+              f"(paper: < 25 lines/call).")
+
+
+def gen_figure2(scale: float) -> str:
+    data = figure2_overhead(scale=scale)
+    rows = [[label, round(v, 2)] for label, v in data.items()]
+    return (f"### Figure 2 — Overhead of HAMSTER vs native JiaJia "
+            f"(4 nodes, scale={scale})\n\n"
+            + md_table(["Benchmark", "overhead % (+ = slower)"], rows)
+            + f"\n\nRange: {min(data.values()):+.2f}% … "
+              f"{max(data.values()):+.2f}% "
+              "(paper: −4.5% … +6.5%).")
+
+
+def gen_figure3(scale: float) -> str:
+    data = figure3_hybrid_vs_sw(scale=scale)
+    rows = [[label, round(v, 2)] for label, v in data.items()]
+    return (f"### Figure 3 — Hybrid-DSM advantage over SW-DSM "
+            f"(4 nodes, scale={scale})\n\n"
+            + md_table(["Benchmark", "advantage % (+ = hybrid faster)"], rows))
+
+
+def gen_figure4(scale: float) -> str:
+    data = figure4_two_nodes(scale=scale)
+    rows = [[label, 100.0, round(v["hybrid"], 1), round(v["software"], 1)]
+            for label, v in data.items()]
+    return (f"### Figure 4 — 2-node platforms, time normalized to the SMP "
+            f"(scale={scale}; >100 = slower than SMP)\n\n"
+            + md_table(["Benchmark", "hardware %", "hybrid %", "software %"],
+                       rows))
+
+
+def main(argv: List[str]) -> int:
+    scale = float(argv[1]) if len(argv) > 1 else 1.0
+    sections = [
+        ("Table 1", gen_table1, False),
+        ("Table 2", gen_table2, False),
+        ("Figure 2", gen_figure2, True),
+        ("Figure 3", gen_figure3, True),
+        ("Figure 4", gen_figure4, True),
+    ]
+    for name, fn, takes_scale in sections:
+        t0 = time.time()
+        block = fn(scale) if takes_scale else fn()
+        elapsed = time.time() - t0
+        print(block)
+        print(f"\n*(regenerated in {elapsed:.1f}s wall-clock)*\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,55 @@
+"""Fixed-width rendering of experiment rows.
+
+Used by the pytest benches (printed under ``-s`` / captured into the bench
+logs) and by the EXPERIMENTS.md generator, so the repository's recorded
+results and the benches' live output come from one formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["render_table", "render_bars"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(value: Cell, width: int) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.2f}"
+    return f"{value!s:>{width}}" if isinstance(value, int) else f"{value!s:<{width}}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Monospace table with a rule under the header."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            text = f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            widths[i] = max(widths[i], len(text))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(f"{h:<{w}}" for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c, w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(values: Dict[str, float], unit: str = "%",
+                width: int = 40, title: str = "") -> str:
+    """ASCII bar chart for figure-style data (negative bars point left)."""
+    if not values:
+        return title
+    peak = max(abs(v) for v in values.values()) or 1.0
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar_len = int(round(abs(value) / peak * (width // 2)))
+        if value >= 0:
+            bar = " " * (width // 2) + "#" * bar_len
+        else:
+            bar = " " * (width // 2 - bar_len) + "#" * bar_len
+        lines.append(f"{label:>10s} |{bar:<{width}}| {value:+8.2f}{unit}")
+    return "\n".join(lines)

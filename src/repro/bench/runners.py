@@ -1,0 +1,172 @@
+"""Experiment runners — one per table/figure of §5.
+
+Every figure uses the same benchmark label set as the paper's bar charts:
+MatMult, PI, SOR opt, SOR, LU all, LU, LU core, LU bar, WATER 288,
+WATER 343 (one LU execution yields its four split measurements).
+
+``scale`` scales the working sets: 1.0 is the paper's Table 1 size
+(1024×1024 matrices, 288/343 molecules); the benches default to a reduced
+scale that preserves every qualitative relationship while keeping the
+(real-world) run time of the full suite manageable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps import get_app
+from repro.apps.common import AppResult, merge_rank_results
+from repro.config import ClusterConfig, preset
+from repro.models.jiajia_api import JiaJiaApi
+from repro.models.native_jiajia import NativeJiaJiaApi
+
+__all__ = ["BENCH_LABELS", "run_app_on", "run_suite", "table1_rows",
+           "figure2_overhead", "figure3_hybrid_vs_sw", "figure4_two_nodes",
+           "WORKLOADS"]
+
+#: Figure bar labels in the paper's order.
+BENCH_LABELS = ["MatMult", "PI", "SOR opt", "SOR", "LU all", "LU",
+                "LU core", "LU bar", "WATER 288", "WATER 343"]
+
+
+@dataclass
+class Workload:
+    """An (app, params, phase) triple behind one figure label."""
+
+    app: str
+    params: Callable[[float], dict]   # scale -> app kwargs
+    phase: str = "total"
+    #: labels sharing one execution (the LU splits)
+    shares: Optional[str] = None
+
+
+def _dim(scale: float, full: int, minimum: int = 32, multiple: int = 16) -> int:
+    """Scale a matrix dimension, keeping page/block alignment friendly."""
+    n = max(minimum, int(full * scale))
+    return max(minimum, (n // multiple) * multiple)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    "MatMult": Workload("matmult", lambda s: {"n": _dim(s, 1024)}),
+    "PI": Workload("pi", lambda s: {"intervals": max(1 << 12, int((1 << 23) * s))}),
+    "SOR opt": Workload("sor", lambda s: {"n": _dim(s, 1024),
+                                          "iterations": 10, "locality": True}),
+    "SOR": Workload("sor", lambda s: {"n": _dim(s, 1024),
+                                      "iterations": 10, "locality": False}),
+    "LU all": Workload("lu", lambda s: {"n": _dim(s, 1024, 64),
+                                        "block": max(16, _dim(s, 1024, 64) // 16)},
+                       phase="all", shares="lu"),
+    "LU": Workload("lu", lambda s: {"n": _dim(s, 1024, 64),
+                                    "block": max(16, _dim(s, 1024, 64) // 16)},
+                   phase="no_init", shares="lu"),
+    "LU core": Workload("lu", lambda s: {"n": _dim(s, 1024, 64),
+                                         "block": max(16, _dim(s, 1024, 64) // 16)},
+                        phase="core", shares="lu"),
+    "LU bar": Workload("lu", lambda s: {"n": _dim(s, 1024, 64),
+                                        "block": max(16, _dim(s, 1024, 64) // 16)},
+                       phase="barrier", shares="lu"),
+    "WATER 288": Workload("water", lambda s: {"molecules": max(32, int(288 * s)),
+                                              "steps": 2}),
+    "WATER 343": Workload("water", lambda s: {"molecules": max(40, int(343 * s)),
+                                              "steps": 2}),
+}
+
+
+def run_app_on(config: ClusterConfig, app: str, native: bool = False,
+               **params) -> AppResult:
+    """Build the platform from ``config``, run ``app`` on it under the
+    JiaJia API (HAMSTER or native binding), return the merged result."""
+    plat = config.build()
+    api = NativeJiaJiaApi(plat.hamster) if native else JiaJiaApi(plat.hamster)
+    fn = get_app(app)
+    per_rank = api.run(lambda a: fn(a, **params))
+    merged = merge_rank_results(per_rank)
+    if not merged.verified:
+        raise AssertionError(
+            f"benchmark {app!r} failed verification on {config.name or config.platform}")
+    return merged
+
+
+def run_suite(config: ClusterConfig, scale: float = 1.0,
+              native: bool = False,
+              labels: Optional[List[str]] = None) -> Dict[str, float]:
+    """Run all figure labels on one platform; returns label -> seconds.
+
+    Labels sharing an execution (the LU splits) run once.
+    """
+    labels = labels or BENCH_LABELS
+    times: Dict[str, float] = {}
+    shared: Dict[str, AppResult] = {}
+    for label in labels:
+        wl = WORKLOADS[label]
+        if wl.shares is not None and wl.shares in shared:
+            result = shared[wl.shares]
+        else:
+            result = run_app_on(config, wl.app, native=native, **wl.params(scale))
+            if wl.shares is not None:
+                shared[wl.shares] = result
+        times[label] = result.phases[wl.phase]
+    return times
+
+
+# ----------------------------------------------------------------- Table 1
+def table1_rows() -> List[Tuple[str, str]]:
+    """Benchmarks and their working sets, as reported in Table 1."""
+    from repro.apps.common import APP_TABLE
+
+    return [(entry["description"], entry["working_set"])
+            for entry in APP_TABLE.values()]
+
+
+# ---------------------------------------------------------------- Figure 2
+def figure2_overhead(scale: float = 1.0, nodes: int = 4,
+                     labels: Optional[List[str]] = None) -> Dict[str, float]:
+    """Overhead (%) of HAMSTER-bound vs native JiaJia on ``nodes`` nodes.
+
+    Positive = HAMSTER slower (degradation), negative = HAMSTER faster —
+    the sign convention of Figure 2.
+    """
+    hamster_cfg = preset(f"sw-dsm-{nodes}")
+    native_cfg = preset(f"native-jiajia-{nodes}")
+    t_hamster = run_suite(hamster_cfg, scale=scale, labels=labels)
+    t_native = run_suite(native_cfg, scale=scale, native=True, labels=labels)
+    return {label: 100.0 * (t_hamster[label] - t_native[label]) / t_native[label]
+            for label in t_hamster}
+
+
+# ---------------------------------------------------------------- Figure 3
+def figure3_hybrid_vs_sw(scale: float = 1.0, nodes: int = 4,
+                         labels: Optional[List[str]] = None) -> Dict[str, float]:
+    """Performance advantage (%) of the hybrid DSM over the SW-DSM.
+
+    Positive = hybrid faster (the paper plots hybrid's advantage with
+    SW-DSM as the baseline): ``100 * (t_sw - t_hybrid) / t_sw``.
+    """
+    t_sw = run_suite(preset(f"sw-dsm-{nodes}"), scale=scale, labels=labels)
+    t_hy = run_suite(preset(f"hybrid-{nodes}"), scale=scale, labels=labels)
+    return {label: 100.0 * (t_sw[label] - t_hy[label]) / t_sw[label]
+            for label in t_sw}
+
+
+# ---------------------------------------------------------------- Figure 4
+def figure4_two_nodes(scale: float = 1.0,
+                      labels: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Hardware- vs hybrid- vs software-DSM on two nodes (two CPUs for the
+    hardware case), normalized to the hardware-DSM (SMP) time = 100%.
+
+    Returns label -> {"hardware": 100.0, "hybrid": pct, "software": pct}
+    where pct > 100 means slower than the SMP.
+    """
+    t_hw = run_suite(preset("smp-2"), scale=scale, labels=labels)
+    t_hy = run_suite(preset("hybrid-2"), scale=scale, labels=labels)
+    t_sw = run_suite(preset("sw-dsm-2"), scale=scale, labels=labels)
+    out: Dict[str, Dict[str, float]] = {}
+    for label in t_hw:
+        base = t_hw[label]
+        out[label] = {
+            "hardware": 100.0,
+            "hybrid": 100.0 * t_hy[label] / base if base else float("nan"),
+            "software": 100.0 * t_sw[label] / base if base else float("nan"),
+        }
+    return out

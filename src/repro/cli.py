@@ -1,0 +1,146 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — execute a Table 1 benchmark on a platform and print its phase
+  times, verification status, and (optionally) a profile report::
+
+      python -m repro run --preset sw-dsm-4 --app sor --param n=256 \\
+          --param iterations=5 --profile
+
+* ``platforms`` — list the named platform presets.
+* ``apps`` — list the benchmark applications and their paper working sets.
+* ``experiments`` — regenerate all tables/figures (delegates to
+  :mod:`repro.bench.experiments`).
+
+A ``--config FILE`` may replace ``--preset`` to build the platform from an
+INI-style cluster configuration (§3.3), reproducing the paper's
+only-the-config-changes workflow from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.apps.common import APP_TABLE
+from repro.config import PRESETS, load, preset
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_param(text: str) -> tuple:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"--param expects name=value, got {text!r}")
+    key, _, raw = text.partition("=")
+    value: Any
+    for caster in (int, float):
+        try:
+            value = caster(raw)
+            break
+        except ValueError:
+            continue
+    else:
+        value = {"true": True, "false": False}.get(raw.lower(), raw)
+    return key.strip(), value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HAMSTER reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark on one platform")
+    target = run.add_mutually_exclusive_group()
+    target.add_argument("--preset", default="sw-dsm-4",
+                        help=f"platform preset ({', '.join(sorted(PRESETS))})")
+    target.add_argument("--config", help="cluster configuration file")
+    run.add_argument("--app", required=True,
+                     help=f"benchmark ({', '.join(sorted(APP_TABLE))})")
+    run.add_argument("--param", action="append", type=_parse_param,
+                     default=[], metavar="NAME=VALUE",
+                     help="benchmark parameter override (repeatable)")
+    run.add_argument("--native", action="store_true",
+                     help="bind the JiaJia API natively (Figure 2 baseline)")
+    run.add_argument("--profile", action="store_true",
+                     help="print the tools.profile report after the run")
+    run.add_argument("--json", metavar="PATH",
+                     help="write the run result (+ profile) as JSON")
+
+    sub.add_parser("platforms", help="list platform presets")
+    sub.add_parser("apps", help="list benchmarks and working sets")
+
+    exp = sub.add_parser("experiments", help="regenerate all tables/figures")
+    exp.add_argument("--scale", type=float, default=1.0,
+                     help="working-set scale (1.0 = paper sizes)")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.apps import get_app
+    from repro.apps.common import merge_rank_results
+    from repro.models.jiajia_api import JiaJiaApi
+    from repro.models.native_jiajia import NativeJiaJiaApi
+
+    config = load(args.config) if args.config else preset(args.preset)
+    params: Dict[str, Any] = dict(args.param)
+    plat = config.build()
+    api = NativeJiaJiaApi(plat.hamster) if args.native else JiaJiaApi(plat.hamster)
+    fn = get_app(args.app)
+    per_rank = api.run(lambda a: fn(a, **params))
+    merged = merge_rank_results(per_rank)
+
+    print(f"platform : {plat.hamster.platform_description()}"
+          f"{' [native binding]' if args.native else ''}")
+    print(f"benchmark: {args.app} {params or ''}")
+    print(f"verified : {merged.verified}")
+    for phase, seconds in sorted(merged.phases.items()):
+        print(f"  {phase:>10s}: {seconds * 1e3:10.3f} ms")
+    if args.profile:
+        from repro.tools import profile_platform
+
+        print()
+        print(profile_platform(plat).render())
+    if args.json:
+        from repro.tools.export import run_to_json, write_text
+
+        write_text(args.json, run_to_json(merged, platform=plat))
+        print(f"json     : written to {args.json}")
+    return 0 if merged.verified else 1
+
+
+def _cmd_platforms() -> int:
+    for name in sorted(PRESETS):
+        cfg = PRESETS[name]
+        print(f"{name:18s} platform={cfg.platform:8s} dsm={cfg.dsm:7s} "
+              f"nodes={cfg.nodes} messaging="
+              f"{'integrated' if cfg.integrated_messaging else 'separate'}")
+    return 0
+
+
+def _cmd_apps() -> int:
+    for name, entry in APP_TABLE.items():
+        print(f"{name:8s} {entry['description']:35s} "
+              f"[{entry['working_set']}] defaults={entry['params']}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "platforms":
+        return _cmd_platforms()
+    if args.command == "apps":
+        return _cmd_apps()
+    if args.command == "experiments":
+        from repro.bench.experiments import main as experiments_main
+
+        return experiments_main(["experiments", str(args.scale)])
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Cluster configuration (§3.3, §5.4).
+
+The paper's experiments switch platforms by changing *only a configuration
+file* — identical application binaries run on SW-DSM, hybrid DSM, or the
+SMP. :class:`ClusterConfig` is that file: it names the platform, the DSM,
+the rank count, and the messaging arrangement, and :meth:`ClusterConfig.build`
+assembles the full stack (engine → cluster → fabric → DSM → HAMSTER).
+
+Configs come from three sources:
+
+* :func:`preset` — the named configurations used throughout the evaluation
+  (``"sw-dsm-4"``, ``"hybrid-4"``, ``"smp-2"``, ...),
+* :func:`loads` / :func:`load` — INI-style text (the unified node
+  configuration file of §3.3),
+* direct construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.cluster import Cluster
+from repro.machine.params import MachineParams, PAPER_PLATFORM
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+__all__ = ["ClusterConfig", "BuiltPlatform", "preset", "loads", "load", "PRESETS"]
+
+_PLATFORMS = {"smp", "beowulf", "sci"}
+_DSMS = {"smp", "jiajia", "scivm", "composite"}
+
+
+@dataclass
+class ClusterConfig:
+    """One experiment's platform description."""
+
+    #: hardware: "smp" | "beowulf" (Ethernet) | "sci"
+    platform: str = "beowulf"
+    #: memory system: "smp" | "jiajia" | "scivm"
+    dsm: str = "jiajia"
+    #: cluster nodes (or CPUs for the SMP platform)
+    nodes: int = 4
+    #: SPMD width; defaults to nodes
+    ranks: Optional[int] = None
+    #: coalesced HAMSTER messaging (True) vs stand-alone DSM stack (False)
+    integrated_messaging: bool = True
+    #: per-service-call overhead; None -> platform default, 0.0 for native
+    #: (non-HAMSTER) bindings
+    call_overhead: Optional[float] = None
+    #: machine cost-parameter overrides
+    param_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: enable simulation tracing
+    trace: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.platform not in _PLATFORMS:
+            raise ConfigurationError(
+                f"unknown platform {self.platform!r}; expected {sorted(_PLATFORMS)}")
+        if self.dsm not in _DSMS:
+            raise ConfigurationError(
+                f"unknown dsm {self.dsm!r}; expected {sorted(_DSMS)}")
+        if self.dsm == "smp" and self.platform != "smp":
+            raise ConfigurationError("the smp memory system needs the smp platform")
+        if self.dsm == "jiajia" and self.platform == "smp":
+            raise ConfigurationError("JiaJia needs a networked platform")
+        if self.dsm == "scivm" and self.platform != "sci":
+            raise ConfigurationError("SCI-VM needs the sci platform")
+        if self.dsm == "composite" and self.platform != "sci":
+            raise ConfigurationError(
+                "the composite DSM needs the sci platform (it hosts both the "
+                "SW-DSM and the hybrid DSM on the SAN)")
+        if self.nodes < 1:
+            raise ConfigurationError("need at least one node")
+
+    # ----------------------------------------------------------------- build
+    def params(self) -> MachineParams:
+        base = PAPER_PLATFORM.with_overrides(
+            coalesce_messaging=self.integrated_messaging)
+        if self.param_overrides:
+            base = base.with_overrides(**self.param_overrides)
+        return base
+
+    def build(self) -> "BuiltPlatform":
+        """Assemble engine, cluster, fabric, DSM, and HAMSTER runtime."""
+        from repro.core.hamster import Hamster
+        from repro.dsm import make_dsm
+        from repro.msg.coalesce import MessagingFabric
+
+        params = self.params()
+        engine = Engine(trace=Tracer(enabled=True) if self.trace else None)
+        n_ranks = self.ranks if self.ranks is not None else self.nodes
+        if self.platform == "smp":
+            cluster = Cluster.smp(engine, n_cpus=max(self.nodes, n_ranks), params=params)
+        elif self.platform == "beowulf":
+            cluster = Cluster.beowulf(engine, self.nodes, params=params)
+        else:
+            cluster = Cluster.sci_cluster(engine, self.nodes, params=params)
+        fabric = None
+        if cluster.network is not None:
+            fabric = MessagingFabric(cluster, integrated=self.integrated_messaging)
+        if self.dsm == "composite":
+            from repro.dsm.composite import CompositeMemorySystem
+            from repro.dsm.jiajia import JiaJiaSystem
+            from repro.dsm.scivm import SciVmSystem
+
+            children = {
+                "jiajia": JiaJiaSystem(cluster, fabric=fabric, n_procs=n_ranks),
+                "scivm": SciVmSystem(cluster, fabric=fabric, n_procs=n_ranks),
+            }
+            dsm = CompositeMemorySystem(cluster, children, primary="jiajia")
+        else:
+            dsm = make_dsm(self.dsm, cluster, fabric=fabric, n_procs=n_ranks)
+        hamster = Hamster(cluster, dsm, fabric=fabric,
+                          call_overhead=self.call_overhead)
+        return BuiltPlatform(config=self, engine=engine, cluster=cluster,
+                             fabric=fabric, dsm=dsm, hamster=hamster)
+
+    # ------------------------------------------------------------------- io
+    def to_text(self) -> str:
+        """Serialize as the INI-style configuration file."""
+        lines = ["[cluster]",
+                 f"platform = {self.platform}",
+                 f"nodes = {self.nodes}",
+                 f"ranks = {self.ranks if self.ranks is not None else self.nodes}",
+                 "",
+                 "[hamster]",
+                 f"dsm = {self.dsm}",
+                 f"messaging = {'integrated' if self.integrated_messaging else 'separate'}"]
+        if self.param_overrides:
+            lines += ["", "[params]"]
+            lines += [f"{k} = {v}" for k, v in sorted(self.param_overrides.items())]
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class BuiltPlatform:
+    """Everything :meth:`ClusterConfig.build` assembled."""
+
+    config: ClusterConfig
+    engine: Engine
+    cluster: Cluster
+    fabric: Any
+    dsm: Any
+    hamster: Any
+
+
+def loads(text: str) -> ClusterConfig:
+    """Parse an INI-style configuration file (§3.3's unified node config)."""
+    section = ""
+    values: Dict[Tuple[str, str], str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip().lower()
+            continue
+        if "=" not in line:
+            raise ConfigurationError(f"config line {lineno}: expected 'key = value'")
+        key, _, val = line.partition("=")
+        values[(section, key.strip().lower())] = val.strip()
+
+    def get(section: str, key: str, default: Optional[str] = None) -> Optional[str]:
+        return values.get((section, key), default)
+
+    platform = get("cluster", "platform", "beowulf")
+    nodes = int(get("cluster", "nodes", "4"))
+    ranks_s = get("cluster", "ranks")
+    dsm = get("hamster", "dsm", "jiajia")
+    messaging = get("hamster", "messaging", "integrated")
+    if messaging not in ("integrated", "separate"):
+        raise ConfigurationError(
+            f"messaging must be 'integrated' or 'separate', got {messaging!r}")
+    overrides: Dict[str, Any] = {}
+    valid_params = {f.name for f in dataclasses.fields(MachineParams)}
+    for (sec, key), val in values.items():
+        if sec != "params":
+            continue
+        if key not in valid_params:
+            raise ConfigurationError(f"unknown machine parameter {key!r}")
+        current = getattr(PAPER_PLATFORM, key)
+        if isinstance(current, bool):
+            overrides[key] = val.lower() in ("1", "true", "yes", "on")
+        elif isinstance(current, int):
+            overrides[key] = int(val)
+        else:
+            overrides[key] = float(val)
+    return ClusterConfig(platform=platform, dsm=dsm, nodes=nodes,
+                         ranks=int(ranks_s) if ranks_s else None,
+                         integrated_messaging=(messaging == "integrated"),
+                         param_overrides=overrides)
+
+
+def load(path: str) -> ClusterConfig:
+    """Load a configuration file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+#: The named platforms of the evaluation (§5). "native-jiajia-N" is the
+#: unmodified-JiaJia baseline of Figure 2: direct DSM binding (no HAMSTER
+#: per-call overhead) with its own separate messaging stack.
+PRESETS: Dict[str, ClusterConfig] = {
+    "smp-2": ClusterConfig(platform="smp", dsm="smp", nodes=2, name="smp-2"),
+    "smp-4": ClusterConfig(platform="smp", dsm="smp", nodes=4, name="smp-4"),
+    "sw-dsm-2": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=2, name="sw-dsm-2"),
+    "sw-dsm-4": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=4, name="sw-dsm-4"),
+    "hybrid-2": ClusterConfig(platform="sci", dsm="scivm", nodes=2, name="hybrid-2"),
+    "hybrid-4": ClusterConfig(platform="sci", dsm="scivm", nodes=4, name="hybrid-4"),
+    "native-jiajia-2": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=2,
+                                     integrated_messaging=False, call_overhead=0.0,
+                                     param_overrides={"hamster_fault_hook": 0.0,
+                                                      "hamster_sync_hook": 0.0},
+                                     name="native-jiajia-2"),
+    "native-jiajia-4": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=4,
+                                     integrated_messaging=False, call_overhead=0.0,
+                                     param_overrides={"hamster_fault_hook": 0.0,
+                                                      "hamster_sync_hook": 0.0},
+                                     name="native-jiajia-4"),
+}
+
+
+def preset(name: str) -> ClusterConfig:
+    """Fetch a named evaluation configuration (returns a private copy)."""
+    try:
+        cfg = PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; known: {sorted(PRESETS)}") from None
+    return dataclasses.replace(cfg, param_overrides=dict(cfg.param_overrides))

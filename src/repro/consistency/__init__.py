@@ -1,0 +1,41 @@
+"""The HAMSTER consistency API (§4.5).
+
+Base architectures and programming models differ radically in their memory
+consistency models. Two rules govern the mapping:
+
+* a **weaker software model may always run on a stronger hardware model**
+  (consistency models are lower bounds on coherence), and
+* distributed substrates need the target model matched to their native
+  relaxed scheme for efficiency.
+
+This package provides the model descriptors, the strength lattice used for
+those mapping decisions, and *optimized implementations of all widely used
+models* (sequential, processor, release, scope, entry) in terms of the
+substrate hooks of :class:`repro.dsm.base.GlobalMemorySystem`.
+"""
+
+from repro.consistency.models import (
+    MODELS,
+    ConsistencyModel,
+    EntryConsistency,
+    ProcessorConsistency,
+    ReleaseConsistency,
+    ScopeConsistency,
+    SequentialConsistency,
+    can_host,
+    get_model,
+    strength,
+)
+
+__all__ = [
+    "ConsistencyModel",
+    "SequentialConsistency",
+    "ProcessorConsistency",
+    "ReleaseConsistency",
+    "ScopeConsistency",
+    "EntryConsistency",
+    "MODELS",
+    "get_model",
+    "strength",
+    "can_host",
+]

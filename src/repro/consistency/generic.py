@@ -1,0 +1,255 @@
+"""Generic, user-centric consistency API (§6 future work).
+
+    "...it would be preferable to include a fully generic and user-centric
+    consistency API that includes a more formal mechanism for reasoning
+    about memory consistency. [...] This will allow memory consistency
+    implementations to be more easily verified, and will enable experiments
+    with new, potentially application-specific consistency models."
+
+Two pieces implement that direction:
+
+:class:`HappensBefore`
+    The formal mechanism: a happens-before analyzer over synchronization
+    traces. Given a sequence of acquire/release/barrier events and a model
+    name, it answers "is a write at point P *guaranteed* visible to a read
+    at point Q?" by graph reachability over program-order and
+    synchronizes-with edges. The sw-edge rule is exactly what
+    distinguishes the models: release→acquire of the *same scope* (scope/
+    entry consistency) vs release→any later acquire (release consistency)
+    vs every event ordered (sequential). Tests use it to verify the model
+    implementations against the lattice.
+
+:class:`ConsistencyContract`
+    The user-centric API: applications declare *visibility requirements*
+    ("writes under scope X must be visible to readers of scope Y") instead
+    of picking a named model. :meth:`ConsistencyContract.compile` checks
+    each requirement against a substrate and produces an executable
+    application-specific model that inserts the cheapest sufficient
+    enforcement (nothing where the substrate already guarantees it, a
+    flush-at-release where it does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.consistency.models import ConsistencyModel, strength
+from repro.errors import ConsistencyError
+
+__all__ = ["SyncEvent", "HappensBefore", "Requirement", "ConsistencyContract",
+           "ContractModel"]
+
+#: scope id used for barrier events (the global scope)
+GLOBAL_SCOPE = -1
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One synchronization event in a trace."""
+
+    kind: str          # "acquire" | "release" | "barrier"
+    rank: int
+    scope: int         # GLOBAL_SCOPE for barriers
+    seq: int           # global issue order (deterministic in the simulator)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("acquire", "release", "barrier"):
+            raise ConsistencyError(f"unknown sync event kind {self.kind!r}")
+
+
+class HappensBefore:
+    """Happens-before reachability for a synchronization trace under a
+    named consistency model."""
+
+    def __init__(self, model: str) -> None:
+        self.model = model
+        self.rank_order = strength(model)
+        self._events: List[SyncEvent] = []
+
+    def add(self, kind: str, rank: int, scope: int = GLOBAL_SCOPE) -> SyncEvent:
+        ev = SyncEvent(kind=kind, rank=rank, scope=scope, seq=len(self._events))
+        self._events.append(ev)
+        return ev
+
+    # ------------------------------------------------------------ sw edges
+    def _synchronizes_with(self, rel: SyncEvent, acq: SyncEvent) -> bool:
+        """Does ``rel`` (a release/barrier) pass visibility to ``acq``?"""
+        if acq.seq <= rel.seq:
+            return False
+        if rel.kind == "barrier" and acq.kind == "barrier":
+            return True  # barriers are global release+acquire pairs
+        if self.model == "sequential" or self.model == "processor":
+            # Strong models: every pair of sync events is ordered (the
+            # hardware keeps a single write order).
+            return True
+        if rel.kind != "release" and rel.kind != "barrier":
+            return False
+        if acq.kind != "acquire" and acq.kind != "barrier":
+            return False
+        if self.model == "release":
+            return True  # any release -> any later acquire
+        # scope / entry: only the same scope synchronizes (barriers are the
+        # global scope and match everything).
+        return (rel.scope == acq.scope or rel.kind == "barrier"
+                or acq.kind == "barrier")
+
+    # --------------------------------------------------------- reachability
+    def guaranteed_visible(self, write_rank: int, write_seq: int,
+                           read_rank: int, read_seq: int) -> bool:
+        """Is a write issued by ``write_rank`` just after trace position
+        ``write_seq`` guaranteed visible to a read by ``read_rank`` just
+        after position ``read_seq``?
+
+        True iff there is a chain: program order to some release by the
+        writer, synchronizes-with edges (possibly through intermediate
+        ranks), and program order from an acquire by the reader.
+        """
+        if write_rank == read_rank:
+            return write_seq <= read_seq  # program order
+        # BFS over (rank, seq) "knowledge" states: rank r knows the write
+        # as of trace position s.
+        events = self._events
+        frontier: List[Tuple[int, int]] = [(write_rank, write_seq)]
+        known: Dict[int, int] = {write_rank: write_seq}
+        while frontier:
+            rank, seq = frontier.pop()
+            for rel in events:
+                if rel.rank != rank or rel.seq < seq:
+                    continue
+                if rel.kind not in ("release", "barrier"):
+                    continue
+                for acq in events:
+                    if acq.kind not in ("acquire", "barrier"):
+                        continue
+                    if not self._synchronizes_with(rel, acq):
+                        continue
+                    if acq.rank in known and known[acq.rank] <= acq.seq:
+                        continue
+                    known[acq.rank] = acq.seq
+                    frontier.append((acq.rank, acq.seq))
+        return read_rank in known and known[read_rank] <= read_seq
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One visibility requirement: writes performed under ``writer_scope``
+    must be visible to subsequent holders of ``reader_scope``."""
+
+    writer_scope: int
+    reader_scope: int
+
+    @property
+    def same_scope(self) -> bool:
+        return self.writer_scope == self.reader_scope
+
+
+@dataclass
+class ContractReport:
+    """How each requirement of a compiled contract is satisfied."""
+
+    native: List[Requirement] = field(default_factory=list)
+    enforced: List[Requirement] = field(default_factory=list)
+
+    @property
+    def fully_native(self) -> bool:
+        return not self.enforced
+
+
+class ContractModel(ConsistencyModel):
+    """Executable application-specific model produced by a contract."""
+
+    name = "contract"
+
+    def __init__(self, dsm, enforce_scopes: FrozenSet[int]) -> None:
+        # Contracts sit outside the named lattice: visibility is exactly
+        # what the requirements say. free_ride computed manually below.
+        self.dsm = dsm
+        self.native = dsm.consistency_model()
+        self.free_ride = not enforce_scopes
+        #: scopes whose release must force global visibility
+        self.enforce_scopes = enforce_scopes
+
+    def acquire(self, scope: int) -> None:
+        self.dsm.lock(scope)
+
+    def release(self, scope: int) -> None:
+        if scope in self.enforce_scopes:
+            # Cross-scope requirement on a scope-consistent substrate: make
+            # the writes globally fetchable before the release is visible.
+            self.dsm.sync_consistency()
+        self.dsm.unlock(scope)
+
+    def fence(self) -> None:
+        self.dsm.sync_consistency()
+
+
+class ConsistencyContract:
+    """Declarative set of visibility requirements."""
+
+    def __init__(self, name: str = "contract") -> None:
+        self.name = name
+        self._requirements: List[Requirement] = []
+
+    def require(self, writer_scope: int, reader_scope: Optional[int] = None
+                ) -> "ConsistencyContract":
+        """Writes under ``writer_scope`` must reach subsequent holders of
+        ``reader_scope`` (defaults to the same scope). Chainable."""
+        if reader_scope is None:
+            reader_scope = writer_scope
+        self._requirements.append(Requirement(writer_scope, reader_scope))
+        return self
+
+    @property
+    def requirements(self) -> List[Requirement]:
+        return list(self._requirements)
+
+    # ------------------------------------------------------------- analysis
+    def natively_satisfied(self, req: Requirement, substrate_model: str) -> bool:
+        """Does a substrate with the given native model already guarantee
+        ``req`` through its lock semantics alone?"""
+        if strength(substrate_model) >= strength("release"):
+            return True  # release-or-stronger: any release reaches any acquire
+        # scope/entry substrates only pass same-scope visibility natively.
+        return req.same_scope
+
+    def compile(self, dsm) -> Tuple[ContractModel, ContractReport]:
+        """Produce the cheapest executable model satisfying every
+        requirement on ``dsm``, plus the verification report."""
+        report = ContractReport()
+        enforce: Set[int] = set()
+        substrate = dsm.consistency_model()
+        for req in self._requirements:
+            if self.natively_satisfied(req, substrate):
+                report.native.append(req)
+            else:
+                report.enforced.append(req)
+                enforce.add(req.writer_scope)
+        return ContractModel(dsm, frozenset(enforce)), report
+
+    def verify_trace(self, hb: HappensBefore) -> List[Requirement]:
+        """Check a recorded trace against the contract: returns the
+        requirements for which the trace contains a release of the writer
+        scope NOT guaranteed visible to a later acquire of the reader scope
+        (empty list = trace consistent with the contract)."""
+        violations: List[Requirement] = []
+        events = hb._events
+        for req in self._requirements:
+            for rel in events:
+                if rel.kind != "release" or rel.scope != req.writer_scope:
+                    continue
+                for acq in events:
+                    if (acq.kind != "acquire" or acq.scope != req.reader_scope
+                            or acq.seq <= rel.seq or acq.rank == rel.rank):
+                        continue
+                    if not hb.guaranteed_visible(rel.rank, rel.seq,
+                                                 acq.rank, acq.seq):
+                        violations.append(req)
+                        break
+                else:
+                    continue
+                break
+        return violations

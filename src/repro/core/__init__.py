@@ -1,0 +1,39 @@
+"""The HAMSTER core: five orthogonal service modules (§4.2) plus
+cross-cutting monitoring (§4.3) and timing services, bundled by the
+:class:`~repro.core.hamster.Hamster` runtime.
+
+* :class:`~repro.core.memory_mgmt.MemoryMgmt` — global allocation,
+  distribution annotations, coherence constraints, capability probing.
+* :class:`~repro.core.consistency_mgmt.ConsistencyMgmt` — the consistency
+  API (§4.5) over :mod:`repro.consistency`.
+* :class:`~repro.core.sync_mgmt.SyncMgmt` — locks, barriers, condition
+  variables, semaphores, parameterizable per target API.
+* :class:`~repro.core.task_mgmt.TaskMgmt` — SPMD task model + integration
+  mechanisms for native thread services.
+* :class:`~repro.core.cluster_ctrl.ClusterControl` — node identity,
+  configuration queries, and the user-visible external messaging layer.
+
+Every module maintains its own statistics counters with independent query/
+reset services (programming-model-independent monitoring, §4.3), and every
+service entry charges the HAMSTER per-call overhead that Figure 2 measures.
+"""
+
+from repro.core.cluster_ctrl import ClusterControl
+from repro.core.consistency_mgmt import ConsistencyMgmt
+from repro.core.hamster import Hamster
+from repro.core.memory_mgmt import MemoryMgmt
+from repro.core.monitoring import ModuleStats
+from repro.core.sync_mgmt import SyncMgmt
+from repro.core.task_mgmt import TaskMgmt
+from repro.core.timing import TimingServices
+
+__all__ = [
+    "Hamster",
+    "MemoryMgmt",
+    "ConsistencyMgmt",
+    "SyncMgmt",
+    "TaskMgmt",
+    "ClusterControl",
+    "ModuleStats",
+    "TimingServices",
+]

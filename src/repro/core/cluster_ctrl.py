@@ -1,0 +1,139 @@
+"""Cluster Control module (§4.2).
+
+Manages cluster configuration: node identification, node-parameter queries,
+and the simple messaging layer used for initialization — which HAMSTER also
+exposes to the user for external messaging (the coalesced channel of §3.3).
+Unlike the other modules, Cluster Control also serves the *other modules*:
+the messaging fabric it owns carries DSM, lock, and forwarding traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.monitoring import ModuleStats
+from repro.errors import ConfigurationError, MessagingError
+from repro.msg.active_messages import Reply
+from repro.msg.coalesce import MessagingFabric
+from repro.sim.resources import SimQueue
+
+__all__ = ["ClusterControl"]
+
+
+class ClusterControl:
+    """Node identity, configuration queries, and user messaging."""
+
+    def __init__(self, hamster) -> None:
+        self._h = hamster
+        self.dsm = hamster.dsm
+        self.cluster = hamster.cluster
+        self.fabric: Optional[MessagingFabric] = hamster.fabric
+        self.stats = ModuleStats("cluster")
+        self._user_queues: Dict[int, SimQueue] = {}
+        self._registry: Dict[str, Any] = {}  # rank-0-hosted name service
+        if self.fabric is not None:
+            chan = self.fabric.channel("cc")
+            chan.register_all("usermsg", lambda nid: self._h_usermsg)
+            chan.register_all("reg.put", lambda nid: self._h_reg_put)
+            chan.register_all("reg.get", lambda nid: self._h_reg_get)
+            self._chan = chan
+        else:
+            self._chan = None
+
+    # -------------------------------------------------------------- identity
+    def my_node(self) -> int:
+        """Cluster node hosting the calling task."""
+        self._h.charge_call()
+        return self.dsm.node_of(self.dsm.current_rank())
+
+    def n_nodes(self) -> int:
+        self._h.charge_call()
+        return self.cluster.n_nodes
+
+    def n_ranks(self) -> int:
+        self._h.charge_call()
+        return self.dsm.n_procs
+
+    def node_params(self, node_id: Optional[int] = None) -> Dict[str, Any]:
+        """Query a node's parameters (CPU count, clock, interconnect kind)."""
+        self._h.charge_call()
+        if node_id is None:
+            node_id = self.my_node()
+        node = self.cluster.node(node_id)
+        self.stats.incr("param_queries")
+        return {
+            "node_id": node.node_id,
+            "n_cpus": node.n_cpus,
+            "cpu_hz": self._h.params.cpu_hz,
+            "page_size": self._h.params.page_size,
+            "interconnect": self.cluster.kind,
+            "dsm": self.dsm.kind,
+        }
+
+    # --------------------------------------------------------- user messaging
+    def _user_queue(self, rank: int) -> SimQueue:
+        if rank not in self._user_queues:
+            self._user_queues[rank] = SimQueue(self._h.engine, name=f"cc.user{rank}")
+        return self._user_queues[rank]
+
+    def send_msg(self, dst_rank: int, payload: Any, size: int = 64) -> None:
+        """External user message to another rank over the unified channel."""
+        self._h.charge_call()
+        self.stats.incr("user_msgs_sent")
+        if not (0 <= dst_rank < self.dsm.n_procs):
+            raise MessagingError(f"rank {dst_rank} out of range")
+        src_rank = self.dsm.current_rank()
+        if self._chan is None or self.dsm.node_of(src_rank) == self.dsm.node_of(dst_rank):
+            # Same node (or no network at all): in-memory delivery.
+            self._user_queue(dst_rank).put((src_rank, payload))
+            return
+        self._chan.post(self.dsm.node_of(src_rank), self.dsm.node_of(dst_rank),
+                        "usermsg", payload={"dst": dst_rank, "src": src_rank,
+                                            "data": payload}, size=size)
+
+    def recv_msg(self) -> Any:
+        """Blocking receive of the next user message: ``(src_rank, payload)``."""
+        self._h.charge_call()
+        self.stats.incr("user_msgs_received")
+        return self._user_queue(self.dsm.current_rank()).get()
+
+    def _h_usermsg(self, msg) -> None:
+        self._user_queue(msg.payload["dst"]).put(
+            (msg.payload["src"], msg.payload["data"]))
+        return None
+
+    # ----------------------------------------------------------- name service
+    def publish(self, key: str, value: Any) -> None:
+        """Publish a key/value pair visible cluster-wide (initialization
+        helper — e.g. TreadMarks allocation-data distribution)."""
+        self._h.charge_call()
+        self.stats.incr("registry_puts")
+        rank = self.dsm.current_rank()
+        if self._chan is None or self.dsm.node_of(rank) == self.dsm.node_of(0):
+            self._registry[key] = value
+            return
+        self._chan.rpc(self.dsm.node_of(rank), self.dsm.node_of(0), "reg.put",
+                       payload={"key": key, "value": value}, size=64)
+
+    def lookup(self, key: str) -> Any:
+        """Fetch a published value (raises if missing)."""
+        self._h.charge_call()
+        self.stats.incr("registry_gets")
+        rank = self.dsm.current_rank()
+        if self._chan is None or self.dsm.node_of(rank) == self.dsm.node_of(0):
+            return self._lookup_local(key)
+        return self._chan.rpc(self.dsm.node_of(rank), self.dsm.node_of(0),
+                              "reg.get", payload=key, size=32)
+
+    def _lookup_local(self, key: str) -> Any:
+        try:
+            return self._registry[key]
+        except KeyError:
+            raise ConfigurationError(f"no published value for key {key!r}") from None
+
+    def _h_reg_put(self, msg) -> Reply:
+        self._registry[msg.payload["key"]] = msg.payload["value"]
+        return Reply(payload=True, size=8)
+
+    def _h_reg_get(self, msg) -> Reply:
+        return Reply(payload=self._lookup_local(msg.payload), size=64)

@@ -1,0 +1,92 @@
+"""Consistency Management module (§4.2, §4.5).
+
+Exposes the HAMSTER consistency API: selection among optimized
+implementations of all widely used models (:mod:`repro.consistency`),
+scope-based acquire/release services, explicit fences, and the model
+compatibility queries programming-model implementers use when matching a
+target API's semantics to the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.consistency import MODELS, ConsistencyModel, can_host, get_model, strength
+from repro.core.monitoring import ModuleStats
+from repro.errors import ConsistencyError
+
+__all__ = ["ConsistencyMgmt"]
+
+
+class ConsistencyMgmt:
+    """Consistency services + model selection."""
+
+    def __init__(self, hamster) -> None:
+        self._h = hamster
+        self.dsm = hamster.dsm
+        self.stats = ModuleStats("consistency")
+        self._models: Dict[str, ConsistencyModel] = {}
+        self._active = self.dsm.consistency_model()
+        if self._active not in MODELS:
+            # Substrates may report hardware model names outside the API's
+            # registry; fall back to release consistency.
+            self._active = "release"
+
+    # ------------------------------------------------------------ selection
+    def supported_models(self) -> List[str]:
+        self._h.charge_call()
+        return sorted(MODELS)
+
+    def native_model(self) -> str:
+        """The substrate's own consistency model."""
+        self._h.charge_call()
+        return self.dsm.consistency_model()
+
+    def can_host(self, program_model: str) -> bool:
+        """Does the substrate guarantee ``program_model`` without extra
+        enforcement? (§4.5 weaker-onto-stronger rule.)"""
+        self._h.charge_call()
+        return can_host(self.dsm.consistency_model(), program_model)
+
+    def use(self, model_name: str) -> ConsistencyModel:
+        """Select (and cache) the optimized implementation of a model."""
+        self._h.charge_call()
+        if model_name not in self._models:
+            self._models[model_name] = get_model(model_name, self.dsm)
+            self.stats.incr("models_instantiated")
+        self._active = model_name
+        return self._models[model_name]
+
+    def active(self) -> ConsistencyModel:
+        if self._active not in self._models:
+            self._models[self._active] = get_model(self._active, self.dsm)
+        return self._models[self._active]
+
+    # ------------------------------------------------------------ operations
+    def acquire(self, scope: int) -> None:
+        """Enter a consistency scope under the active model."""
+        self._h.charge_call()
+        self.stats.incr("acquires")
+        self.active().acquire(scope)
+
+    def release(self, scope: int) -> None:
+        """Leave a consistency scope under the active model."""
+        self._h.charge_call()
+        self.stats.incr("releases")
+        self.active().release(scope)
+
+    def fence(self) -> None:
+        """Full consistency point: all of this rank's writes become
+        globally fetchable."""
+        self._h.charge_call()
+        self.stats.incr("fences")
+        self.active().fence()
+
+    def strength_of(self, model_name: str) -> int:
+        return strength(model_name)
+
+    def check_model(self, model_name: str) -> None:
+        if model_name not in MODELS:
+            raise ConsistencyError(
+                f"unknown consistency model {model_name!r}; "
+                f"known: {sorted(MODELS)}")

@@ -1,0 +1,142 @@
+"""Memory Management module (§4.2).
+
+Services for global allocation and distribution. Users may attach
+distribution annotations and coherence constraints to any allocation; a
+capability test routine probes the underlying shared memory system for the
+coherence schemes and placement policies it supports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.monitoring import ModuleStats
+from repro.errors import CapabilityError
+from repro.memory.address_space import Region
+from repro.memory.layout import Distribution
+from repro.memory.shared_array import SharedArray
+
+__all__ = ["MemoryMgmt"]
+
+
+class MemoryMgmt:
+    """Global memory allocation/distribution services."""
+
+    def __init__(self, hamster) -> None:
+        self._h = hamster
+        self.dsm = hamster.dsm
+        self.stats = ModuleStats("memory")
+        # Collective-allocation rendezvous: per-rank call counters + the
+        # shared step -> result table (first arriver allocates).
+        self._coll_seq: dict = {}
+        self._coll_results: dict = {}
+
+    # ---------------------------------------------------------- allocation
+    def alloc(self, nbytes: int, name: str = "",
+              distribution: Optional[Distribution] = None,
+              coherence: Optional[str] = None) -> Region:
+        """Globally allocate ``nbytes``.
+
+        ``coherence`` optionally names a required coherence scheme
+        (``"scope"``, ``"release"``, ...); the call fails with
+        :class:`CapabilityError` if the subsystem cannot accommodate it —
+        "as long as the subsystem can accommodate the given parameters".
+        """
+        self._h.charge_call()
+        if coherence is not None:
+            self.require(f"consistency:{coherence}")
+        region = self.dsm.allocate(nbytes, name=name, distribution=distribution)
+        self.stats.incr("allocations")
+        self.stats.incr("allocated_bytes", region.size)
+        return region
+
+    def alloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
+                    name: str = "", distribution: Optional[Distribution] = None,
+                    coherence: Optional[str] = None) -> SharedArray:
+        """Allocate a typed shared array (the common application path)."""
+        self._h.charge_call()
+        if coherence is not None:
+            self.require(f"consistency:{coherence}")
+        arr = self.dsm.make_array(shape, dtype=dtype, name=name,
+                                  distribution=distribution)
+        self.stats.incr("allocations")
+        self.stats.incr("allocated_bytes", arr.region.size)
+        return arr
+
+    # ------------------------------------------------- collective allocation
+    def _collective(self, make) -> Any:
+        """Synchronous allocation involving all ranks (§5.2): every rank
+        calls, exactly one allocates, all receive the same object, and the
+        rendezvous carries an implicit barrier — the "overhead costs for a
+        consistency model that is not always required" the paper contrasts
+        with TreadMarks' single-node allocation."""
+        rank = self.dsm.current_rank()
+        seq = self._coll_seq.get(rank, 0)
+        self._coll_seq[rank] = seq + 1
+        if seq not in self._coll_results:
+            self._coll_results[seq] = make()
+        self._h.sync.barrier()
+        return self._coll_results[seq]
+
+    def alloc_collective(self, nbytes: int, name: str = "",
+                         distribution: Optional[Distribution] = None,
+                         coherence: Optional[str] = None) -> Region:
+        """Collective form of :meth:`alloc` — all ranks call together and
+        receive the same region (jia_alloc/HLRC-style global allocation)."""
+        return self._collective(
+            lambda: self.alloc(nbytes, name=name, distribution=distribution,
+                               coherence=coherence))
+
+    def alloc_array_collective(self, shape: Sequence[int], dtype: Any = np.float64,
+                               name: str = "",
+                               distribution: Optional[Distribution] = None,
+                               coherence: Optional[str] = None) -> SharedArray:
+        """Collective form of :meth:`alloc_array`."""
+        return self._collective(
+            lambda: self.alloc_array(shape, dtype=dtype, name=name,
+                                     distribution=distribution,
+                                     coherence=coherence))
+
+    def free(self, target) -> None:
+        """Release a :class:`Region` or :class:`SharedArray`."""
+        self._h.charge_call()
+        region = target.region if isinstance(target, SharedArray) else target
+        self.dsm.free(region)
+        self.stats.incr("frees")
+
+    # ---------------------------------------------------------- capability
+    def capabilities(self) -> frozenset:
+        """Probe the underlying memory subsystem (§4.2 capability test)."""
+        self._h.charge_call()
+        self.stats.incr("capability_probes")
+        return self.dsm.capabilities()
+
+    def supports(self, capability: str) -> bool:
+        return capability in self.capabilities()
+
+    def require(self, capability: str) -> None:
+        if not self.supports(capability):
+            raise CapabilityError(
+                f"memory subsystem {self.dsm.kind!r} does not support "
+                f"{capability!r}; available: {sorted(self.dsm.capabilities())}")
+
+    # ------------------------------------------------------------- queries
+    def allocator_stats(self) -> dict:
+        a = self.dsm.allocator
+        return {
+            "allocated_bytes": a.allocated_bytes,
+            "peak_bytes": a.peak_bytes,
+            "free_bytes": a.free_bytes(),
+            "fragmentation": a.fragmentation(),
+            "n_allocs": a.n_allocs,
+            "n_frees": a.n_frees,
+        }
+
+    def access_stats(self, rank: Optional[int] = None) -> dict:
+        """Per-rank DSM access statistics (monitoring feed)."""
+        return self.dsm.stats(rank)
+
+    def reset_access_stats(self) -> None:
+        self.dsm.reset_stats()

@@ -1,0 +1,74 @@
+"""Generalized performance monitoring (§4.3).
+
+Each HAMSTER module owns a :class:`ModuleStats` instance: an independent set
+of named counters with query and reset services. Statistics are maintained
+by the framework itself, independent of what the underlying architecture
+provides, so the same counters exist on every platform — the property that
+enables architecture- and programming-model-independent tool support.
+
+Consumers (the paper's three scenarios): applications may query directly,
+run-time systems may drive dynamic optimization, and external monitors may
+attach via :meth:`ModuleStats.subscribe`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["ModuleStats", "MonitoringRegistry"]
+
+
+class ModuleStats:
+    """Named counters for one module, with query/reset services."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self._counters: Dict[str, float] = {}
+        self._subscribers: List[Callable[[str, str, float], None]] = []
+
+    # ------------------------------------------------------------- updates
+    def incr(self, counter: str, amount: float = 1) -> None:
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+        for cb in self._subscribers:
+            cb(self.module, counter, self._counters[counter])
+
+    def observe(self, counter: str, value: float) -> None:
+        """Track a max-style observation (high-water marks)."""
+        self._counters[counter] = max(self._counters.get(counter, value), value)
+
+    # ------------------------------------------------------------- queries
+    def query(self, counter: Optional[str] = None):
+        """One counter's value, or a snapshot dict of all of them."""
+        if counter is not None:
+            return self._counters.get(counter, 0)
+        return dict(self._counters)
+
+    def reset(self, counter: Optional[str] = None) -> None:
+        if counter is not None:
+            self._counters.pop(counter, None)
+        else:
+            self._counters.clear()
+
+    # ---------------------------------------------------------- attachment
+    def subscribe(self, callback: Callable[[str, str, float], None]) -> None:
+        """Attach an external monitoring system; called on every update."""
+        self._subscribers.append(callback)
+
+
+class MonitoringRegistry:
+    """All modules' statistics, queryable as one tree (tool support)."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, ModuleStats] = {}
+
+    def module(self, name: str) -> ModuleStats:
+        if name not in self._modules:
+            self._modules[name] = ModuleStats(name)
+        return self._modules[name]
+
+    def query_all(self) -> Dict[str, Dict[str, float]]:
+        return {name: stats.query() for name, stats in self._modules.items()}
+
+    def reset_all(self) -> None:
+        for stats in self._modules.values():
+            stats.reset()

@@ -1,0 +1,42 @@
+"""DSM substrates: the three base architectures of §3.2.
+
+* :mod:`repro.dsm.smp` — hardware-coherent shared memory (tightly coupled),
+* :mod:`repro.dsm.jiajia` — JiaJia-style software DSM over Ethernet
+  (loosely coupled; home-based scope consistency),
+* :mod:`repro.dsm.scivm` — SCI-VM-style hybrid DSM over SCI remote-memory
+  hardware (the intermediate design point).
+
+All three implement :class:`repro.dsm.base.GlobalMemorySystem`, the global
+memory abstraction HAMSTER requires of a base architecture — global
+allocation, transparent read/write, synchronization, and consistency
+control — so the HAMSTER core and every programming model run unmodified on
+each.
+"""
+
+from repro.dsm.base import AccessStats, GlobalMemorySystem
+from repro.dsm.smp import SmpMemorySystem
+
+
+def make_dsm(kind: str, cluster, fabric=None, **kw):
+    """Factory used by the cluster-configuration machinery.
+
+    ``kind`` is one of ``"smp"``, ``"jiajia"`` (SW-DSM), ``"scivm"``
+    (hybrid DSM).
+    """
+    from repro.dsm.jiajia import JiaJiaSystem
+    from repro.dsm.scivm import SciVmSystem
+
+    kinds = {"smp": SmpMemorySystem, "jiajia": JiaJiaSystem, "scivm": SciVmSystem}
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown DSM kind {kind!r}; expected one of {sorted(kinds)}") from None
+    if kind == "smp":
+        return cls(cluster, **kw)
+    return cls(cluster, fabric=fabric, **kw)
+
+
+__all__ = ["GlobalMemorySystem", "AccessStats", "SmpMemorySystem", "make_dsm"]

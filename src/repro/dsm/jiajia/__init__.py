@@ -1,0 +1,26 @@
+"""JiaJia-style software DSM (home-based scope consistency).
+
+Reimplementation of the SW-DSM the paper integrates as its loosely-coupled
+substrate (§3.2): Hu/Shi/Tang's JiaJia. Protocol features reproduced:
+
+* **home-based** pages — every page has a home rank whose copy is
+  authoritative; modifications travel home as *diffs* at release time,
+* **multiple-writer** support via twins + run-length diffs (false sharing
+  does not ping-pong pages),
+* **scope consistency** — write notices are bound to the lock under which
+  the writes happened; acquiring that lock invalidates exactly the pages
+  its previous critical sections modified, while barriers globalize all
+  notices,
+* distributed lock managers (lock id → manager rank) and a centralized
+  barrier manager,
+* per-rank protocol statistics (JiaJia's ``jiastat``-style counters).
+
+The protocol moves *real data*: fetches copy page bytes, diffs are computed
+from real twins and applied at real homes — tests verify that benchmark
+results computed through the DSM equal sequential numpy results.
+"""
+
+from repro.dsm.jiajia.protocol import JiaJiaSystem
+from repro.dsm.jiajia.diffs import Diff, apply_diff, diff_wire_size, make_diff
+
+__all__ = ["JiaJiaSystem", "Diff", "make_diff", "apply_diff", "diff_wire_size"]

@@ -1,0 +1,81 @@
+"""Twin/diff machinery for the multiple-writer protocol.
+
+A *twin* is a pristine copy of a page taken at the first write after a
+synchronization point. At release time the protocol diffs the twin against
+the current page; the diff — a list of ``(offset, bytes)`` runs — is shipped
+to the page's home and applied there. Two ranks writing disjoint parts of
+the same page produce non-overlapping diffs that merge cleanly at the home
+(false sharing costs bandwidth, not correctness).
+
+Diff encoding is run-length over the byte-wise inequality mask, computed
+with vectorized numpy (the guides' "vectorize, don't loop" rule — pages are
+4 KiB, so a Python per-byte loop would dominate simulation run time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+__all__ = ["Diff", "make_diff", "apply_diff", "diff_wire_size"]
+
+#: Per-run wire overhead: 4-byte offset + 4-byte length.
+RUN_HEADER_BYTES = 8
+#: Per-diff wire overhead: page number + run count.
+DIFF_HEADER_BYTES = 12
+
+
+@dataclass
+class Diff:
+    """Encoded modifications of one page."""
+
+    page: int
+    runs: List[Tuple[int, np.ndarray]]  # (offset-in-page, changed bytes)
+
+    @property
+    def changed_bytes(self) -> int:
+        return sum(len(data) for _, data in self.runs)
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs
+
+
+def make_diff(page: int, twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Encode the bytes of ``current`` that differ from ``twin``."""
+    if twin.shape != current.shape:
+        raise MemoryError_(
+            f"twin/page size mismatch: {twin.shape} vs {current.shape}")
+    neq = twin != current
+    if not neq.any():
+        return Diff(page, [])
+    # Boundaries of True-runs in the inequality mask.
+    padded = np.empty(len(neq) + 2, dtype=bool)
+    padded[0] = padded[-1] = False
+    padded[1:-1] = neq
+    edges = np.flatnonzero(padded[1:] != padded[:-1])
+    starts, ends = edges[0::2], edges[1::2]
+    runs = [(int(s), current[s:e].copy()) for s, e in zip(starts, ends)]
+    return Diff(page, runs)
+
+
+def apply_diff(target: np.ndarray, diff: Diff) -> int:
+    """Apply ``diff`` to a home page buffer; returns bytes written."""
+    total = 0
+    n = len(target)
+    for offset, data in diff.runs:
+        if offset < 0 or offset + len(data) > n:
+            raise MemoryError_(
+                f"diff run [{offset}, {offset + len(data)}) exceeds page size {n}")
+        target[offset:offset + len(data)] = data
+        total += len(data)
+    return total
+
+
+def diff_wire_size(diff: Diff) -> int:
+    """Bytes this diff occupies in a release message."""
+    return DIFF_HEADER_BYTES + len(diff.runs) * RUN_HEADER_BYTES + diff.changed_bytes

@@ -1,0 +1,57 @@
+"""Write notices and scope bookkeeping.
+
+A write notice records "page P was modified by rank R in interval seq". In
+scope consistency (JiaJia's model), notices are *bound to the lock* whose
+critical section produced them: acquiring lock L delivers only L's notices;
+the barrier is the global scope that delivers everyone's notices to
+everybody.
+
+:class:`NoticeLog` is the manager-side, monotonically growing log with
+sequence numbers; clients remember the last sequence they have seen per
+scope and receive only the tail — JiaJia's incremental write-notice
+propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["WriteNotice", "NoticeLog", "NOTICE_WIRE_BYTES"]
+
+#: wire size of one notice (page number + writer rank)
+NOTICE_WIRE_BYTES = 10
+
+
+@dataclass(frozen=True)
+class WriteNotice:
+    """One page-modification record."""
+
+    page: int
+    writer: int
+
+
+class NoticeLog:
+    """Append-only write-notice log with sequence-number cursors."""
+
+    def __init__(self) -> None:
+        self._log: List[WriteNotice] = []
+
+    @property
+    def seq(self) -> int:
+        """Current end-of-log sequence number."""
+        return len(self._log)
+
+    def append(self, notices: List[WriteNotice]) -> int:
+        """Append notices; returns the new sequence number."""
+        self._log.extend(notices)
+        return self.seq
+
+    def since(self, cursor: int) -> Tuple[List[WriteNotice], int]:
+        """Notices after ``cursor`` plus the new cursor."""
+        if cursor < 0:
+            cursor = 0
+        return list(self._log[cursor:]), self.seq
+
+    def __len__(self) -> int:
+        return len(self._log)

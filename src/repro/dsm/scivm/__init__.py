@@ -1,0 +1,21 @@
+"""SCI-VM-style hybrid DSM (hardware data path, software management).
+
+The intermediate design point of §3.2: a *shared memory cluster* whose SAN
+(SCI) offers remote memory read/write transactions. Memory management —
+global allocation, page placement, the kernel-level remote mapping — stays
+in software (like a SW-DSM), but every data access maps directly onto
+hardware transactions with **no software protocol on the data path**: no
+page faults after mapping, no twins, no diffs.
+
+Consequences the evaluation measures:
+
+* write-only initialization is cheap (posted remote writes stream at wire
+  bandwidth; a SW-DSM pays fetch+twin+diff for the same pattern — Fig. 3 LU),
+* barrier/lock costs collapse to a few remote atomic transactions,
+* every remote access pays SAN latency, so locality (home placement) still
+  matters, just less catastrophically than under page faulting.
+"""
+
+from repro.dsm.scivm.protocol import SciVmSystem
+
+__all__ = ["SciVmSystem"]

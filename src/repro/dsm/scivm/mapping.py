@@ -1,0 +1,63 @@
+"""Kernel mapping component of the hybrid DSM.
+
+The SCI-VM extends the OS's local memory management to remote pages: before
+a node can issue hardware transactions against a remote page, a privileged
+kernel module must program the SCI adapter's address translation table and
+install the mapping in the local page tables (§2: "the only exception is a
+kernel-level component..."). The mapping also implements protection: a page
+can be mapped read-only or read-write, and unmapped pages are inaccessible.
+
+:class:`RemoteMapper` models this: a per-rank table of mapped pages, a
+one-time per-page mapping cost, and an ATT capacity with FIFO eviction
+(real SCI adapters had a limited number of translation entries).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.errors import ProtectionError
+
+__all__ = ["RemoteMapper"]
+
+
+class RemoteMapper:
+    """Per-rank remote page mapping table with bounded ATT capacity."""
+
+    def __init__(self, sci, rank: int, att_entries: int = 16384) -> None:
+        self.sci = sci
+        self.rank = rank
+        self.att_entries = att_entries
+        #: mapped page -> True; ordered for FIFO eviction
+        self._mapped: "OrderedDict[int, bool]" = OrderedDict()
+        # ---------------------------------------------------- statistics
+        self.maps = 0
+        self.evictions = 0
+
+    def is_mapped(self, page: int) -> bool:
+        return page in self._mapped
+
+    def ensure_mapped(self, page: int) -> bool:
+        """Map ``page`` if needed; returns True when a new mapping was
+        created (and its kernel cost charged)."""
+        if page in self._mapped:
+            return False
+        if len(self._mapped) >= self.att_entries:
+            self._mapped.popitem(last=False)
+            self.evictions += 1
+        self._mapped[page] = True
+        self.maps += 1
+        self.sci.map_pages(1)
+        return True
+
+    def unmap(self, page: int) -> None:
+        self._mapped.pop(page, None)
+
+    def unmap_all(self) -> None:
+        self._mapped.clear()
+
+    def require_mapped(self, page: int) -> None:
+        if page not in self._mapped:
+            raise ProtectionError(
+                f"rank {self.rank}: hardware access to unmapped page {page}")

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the HAMSTER reproduction.
+
+Every error raised by the framework derives from :class:`HamsterError` so
+callers can catch framework failures with a single ``except`` clause while
+still distinguishing the subsystem at fault.
+"""
+
+from __future__ import annotations
+
+
+class HamsterError(Exception):
+    """Base class for all framework errors."""
+
+
+class SimulationError(HamsterError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    This is the simulated equivalent of a hung cluster: every remaining
+    process is waiting on a lock, barrier, or message that can never arrive.
+    """
+
+    def __init__(self, blocked: list) -> None:
+        names = ", ".join(sorted(str(p) for p in blocked))
+        super().__init__(f"deadlock: event queue empty with blocked processes [{names}]")
+        self.blocked = list(blocked)
+
+
+class ConfigurationError(HamsterError):
+    """Raised for invalid cluster configuration files or parameters."""
+
+
+class MemoryError_(HamsterError):
+    """Raised for global memory abstraction failures (bad address, OOM)."""
+
+
+class AllocationError(MemoryError_):
+    """Raised when a global allocation request cannot be satisfied."""
+
+
+class ProtectionError(MemoryError_):
+    """Raised when an access violates page protection in a way the DSM
+    protocol cannot service (e.g. access to unmapped global memory)."""
+
+
+class ConsistencyError(HamsterError):
+    """Raised for invalid consistency-model operations (e.g. releasing a
+    scope that was never acquired)."""
+
+
+class SynchronizationError(HamsterError):
+    """Raised for synchronization misuse (unlocking a free lock, barrier
+    count mismatch)."""
+
+
+class TaskError(HamsterError):
+    """Raised for task-management failures (joining an unknown task)."""
+
+
+class MessagingError(HamsterError):
+    """Raised for messaging-layer failures (unknown handler, bad node)."""
+
+
+class ModelError(HamsterError):
+    """Raised by programming-model layers for API misuse, mirroring the
+    error codes the native APIs would return."""
+
+
+class CapabilityError(HamsterError):
+    """Raised when a requested capability (coherence scheme, distribution)
+    is not supported by the underlying memory subsystem."""

@@ -1,0 +1,30 @@
+"""Simulated cluster hardware.
+
+Models the paper's experimental platform (§5.1): a four-node Linux cluster of
+dual 450 MHz Intel Xeon SMP nodes with 512 MB memory each, connected by both
+Dolphin SCI and switched Fast Ethernet. All cost constants live in
+:mod:`repro.machine.params`; nodes/CPUs in :mod:`repro.machine.node`;
+interconnect models in :mod:`repro.machine.ethernet`,
+:mod:`repro.machine.sci`, and :mod:`repro.machine.smpbus`; and the assembled
+machine in :mod:`repro.machine.cluster`.
+"""
+
+from repro.machine.cluster import Cluster
+from repro.machine.ethernet import EthernetNetwork
+from repro.machine.interconnect import Message, Network
+from repro.machine.node import Node
+from repro.machine.params import MachineParams, PAPER_PLATFORM
+from repro.machine.sci import SciInterconnect
+from repro.machine.smpbus import MemoryBus
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "MachineParams",
+    "PAPER_PLATFORM",
+    "Network",
+    "Message",
+    "EthernetNetwork",
+    "SciInterconnect",
+    "MemoryBus",
+]

@@ -1,0 +1,39 @@
+"""Switched Fast Ethernet with a TCP/IP software stack.
+
+This is the Beowulf-side interconnect of the paper's testbed. Two cost
+components matter for the reproduction:
+
+* **wire behaviour** — 100 Mbit/s payload bandwidth and ~70 µs switch
+  latency (handled by the base :class:`~repro.machine.interconnect.Network`
+  model), and
+* **per-message software cost** — the TCP/IP stack burns tens of
+  microseconds of CPU on each end of every message. This is the cost the
+  HAMSTER messaging integration (§3.3) partially amortizes, producing the
+  negative overhead bars of Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.machine.interconnect import Network
+from repro.machine.params import MachineParams
+
+__all__ = ["EthernetNetwork"]
+
+
+class EthernetNetwork(Network):
+    """Fast Ethernet + TCP/IP cost model."""
+
+    def __init__(self, engine, n_nodes: int, params: MachineParams) -> None:
+        super().__init__(engine, n_nodes)
+        self.params = params
+        self.latency = params.eth_latency
+        self.bandwidth = params.eth_bandwidth
+        # Ethernet + IP + TCP headers per segment; one segment assumed for
+        # control messages, amortized for bulk (close enough at 4 KiB pages).
+        self.framing_bytes = 66
+
+    def sender_cpu_overhead(self) -> float:
+        return self.params.tcp_send_overhead
+
+    def receiver_cpu_overhead(self) -> float:
+        return self.params.tcp_recv_overhead

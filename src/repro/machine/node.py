@@ -1,0 +1,74 @@
+"""Simulated cluster node: CPUs + local memory bus.
+
+A node does not itself run code — application work runs in simulated
+processes (see :mod:`repro.sim.process`) that *charge* their costs to the
+node they are placed on. The node provides the charging primitives:
+
+* :meth:`Node.compute` — CPU time for floating-point work,
+* :meth:`Node.cpu_time` / :meth:`Node.cpu_cycles` — raw CPU time,
+* :meth:`Node.mem_touch` — bulk memory traffic through the node's bus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.params import MachineParams
+from repro.machine.smpbus import MemoryBus
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine in the simulated cluster.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    node_id:
+        Dense integer id, 0-based. Node 0 conventionally hosts global
+        services (barrier manager, default lock managers), matching JiaJia.
+    params:
+        Cost constants.
+    n_cpus:
+        CPUs available on this node. SPMD configurations place one process
+        per node; the SMP configuration places all processes on one node.
+    """
+
+    def __init__(self, engine, node_id: int, params: MachineParams,
+                 n_cpus: Optional[int] = None) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.params = params
+        self.n_cpus = n_cpus if n_cpus is not None else params.cpus_per_node
+        self.bus = MemoryBus(engine, params, name=f"bus{node_id}")
+        #: accumulated compute seconds charged on this node (monitoring)
+        self.compute_time: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.node_id} cpus={self.n_cpus}>"
+
+    # -------------------------------------------------------------- charges
+    def compute(self, flops: float) -> None:
+        """Charge the calling process for ``flops`` floating-point operations."""
+        if flops <= 0:
+            return
+        t = flops * self.params.seconds_per_flop()
+        self.compute_time += t
+        self.engine.require_process().hold(t)
+
+    def cpu_time(self, seconds: float) -> None:
+        """Charge raw CPU seconds (software overheads)."""
+        if seconds <= 0:
+            return
+        self.compute_time += seconds
+        self.engine.require_process().hold(seconds)
+
+    def cpu_cycles(self, cycles: float) -> None:
+        """Charge CPU cycles at the node clock rate."""
+        self.cpu_time(cycles / self.params.cpu_hz)
+
+    def mem_touch(self, nbytes: int) -> None:
+        """Charge bulk memory traffic through this node's (shared) bus."""
+        self.bus.touch(nbytes)

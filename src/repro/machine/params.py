@@ -1,0 +1,148 @@
+"""Cost-model parameters for the simulated platform.
+
+All times are **seconds**, all sizes **bytes**, all rates **bytes/second**
+(or FLOP/s). The defaults (:data:`PAPER_PLATFORM`) are calibrated to the
+paper's testbed (§5.1): 450 MHz Intel Xeon nodes, switched Fast Ethernet
+with TCP/IP, and Dolphin SCI. Absolute values follow published measurements
+of that hardware generation; the evaluation only depends on their *ratios*
+(e.g. SCI transactions being ~30× cheaper than a TCP round trip), which are
+robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineParams", "PAPER_PLATFORM"]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Immutable bundle of machine cost constants.
+
+    Use :meth:`with_overrides` to derive variants (the ablation benches do
+    this, e.g. to disable message coalescing).
+    """
+
+    # ----------------------------------------------------------------- CPU
+    #: CPU clock rate (450 MHz Xeon).
+    cpu_hz: float = 450e6
+    #: Sustained scalar FLOP rate for the benchmark kernels. Xeon-450-class
+    #: codes sustained roughly 0.4 flop/cycle on tuned kernels.
+    flops_per_second: float = 180e6
+
+    # -------------------------------------------------------------- memory
+    #: Virtual-memory page size used by all DSM protocols.
+    page_size: int = 4096
+    #: Sustained local memory-bus bandwidth per node (100 MHz FSB era).
+    mem_bandwidth: float = 350e6
+    #: Per-bulk-access fixed memory latency (DRAM + chipset).
+    mem_latency: float = 0.18e-6
+    #: Number of CPUs per SMP node (paper: dual-Xeon nodes).
+    cpus_per_node: int = 2
+
+    # ------------------------------------------------------ Fast Ethernet
+    #: One-way wire+switch latency of switched Fast Ethernet.
+    eth_latency: float = 70e-6
+    #: Sustained TCP payload bandwidth on 100 Mbit/s Ethernet.
+    eth_bandwidth: float = 11.0e6
+    #: Sender-side CPU cost per TCP message (syscall + stack + copy).
+    tcp_send_overhead: float = 28e-6
+    #: Receiver-side CPU cost per TCP message.
+    tcp_recv_overhead: float = 28e-6
+
+    # ----------------------------------------------------------------- SCI
+    #: Latency of a remote SCI read transaction (CPU stalls on it).
+    sci_read_latency: float = 4.5e-6
+    #: Latency of a remote SCI posted write (write buffer hides most of it).
+    sci_write_latency: float = 1.6e-6
+    #: Sustained SCI bulk bandwidth (reads).
+    sci_read_bandwidth: float = 65e6
+    #: Sustained SCI bulk bandwidth (posted writes).
+    sci_write_bandwidth: float = 85e6
+    #: Cost of flushing the SCI write buffer (consistency enforcement).
+    sci_flush_cost: float = 2.5e-6
+    #: One-time cost of mapping one remote page through the kernel
+    #: component of the hybrid DSM (SCI-VM's kernel driver, §2).
+    sci_map_page_cost: float = 18e-6
+    #: Latency of one SCI remote atomic (fetch&inc etc.), used by locks.
+    sci_atomic_latency: float = 5.0e-6
+    #: Additional per-hop latency on the SCI ringlet. SCI is a ring: a
+    #: transaction from node i to node j traverses (j - i) mod N link hops
+    #: forward (responses return the rest of the way round). Zero disables
+    #: topology modelling (uniform remote latency).
+    sci_hop_latency: float = 0.35e-6
+
+    # --------------------------------------------------------- DSM software
+    #: Software cost of taking a page fault and entering the DSM handler
+    #: (SIGSEGV delivery + dispatch on real hardware).
+    fault_handling_cost: float = 18e-6
+    #: Fixed software cost of creating a twin (malloc + bookkeeping); the
+    #: page copy itself is charged at memory bandwidth on top.
+    twin_fixed_cost: float = 3e-6
+    #: Fixed cost of encoding a diff (scan setup); scan traffic charged at
+    #: memory bandwidth (read page + twin).
+    diff_fixed_cost: float = 4e-6
+    #: Fixed cost of applying a diff at the home node.
+    diff_apply_fixed_cost: float = 2.5e-6
+    #: Cost of invalidating one actually-present page named by a write
+    #: notice (page-table update + mprotect).
+    write_notice_cost: float = 0.8e-6
+    #: Cost of scanning one incoming write notice (vectorized table walk;
+    #: most notices name pages the rank does not cache).
+    notice_scan_cost: float = 0.05e-6
+    #: Server-side cost of handling a page request at the home node.
+    page_serve_cost: float = 6e-6
+
+    # ----------------------------------------------------------- messaging
+    #: Per-message software overhead of a *stand-alone* messaging stack
+    #: (what native JiaJia pays for its own socket layer on top of the
+    #: TCP costs above: dispatch, buffer management, signal handling).
+    msg_stack_overhead_separate: float = 9e-6
+    #: Per-message overhead of the HAMSTER *coalesced* messaging layer
+    #: (§3.3: the DSM's and HAMSTER's messaging merged into one channel,
+    #: one dispatch path, shared buffers).
+    msg_stack_overhead_integrated: float = 5.5e-6
+    #: Whether the framework coalesces messaging stacks (ablation knob).
+    coalesce_messaging: bool = True
+
+    # ------------------------------------------------------------- HAMSTER
+    #: CPU cost of one HAMSTER service call (argument translation and
+    #: dispatch through the programming-model layer; ~200 cycles).
+    hamster_call_overhead: float = 0.45e-6
+    #: CPU cost of one native API call when bound directly to the DSM
+    #: (thin wrapper; ~60 cycles).
+    native_call_overhead: float = 0.13e-6
+    #: Extra cost per page-fault protocol activation when the DSM is
+    #: integrated into HAMSTER (the modified JiaJia dispatches its SIGSEGV
+    #: path through the consistency framework). Zero in native builds.
+    hamster_fault_hook: float = 5e-6
+    #: Extra cost per lock/unlock/barrier protocol operation under HAMSTER
+    #: integration (sync-module dispatch + parameter translation).
+    hamster_sync_hook: float = 4e-6
+    #: Cost of a statistics-counter update in the monitoring services.
+    monitor_update_cost: float = 0.0  # counters are maintained for free in-sim
+
+    # ------------------------------------------------------------- syscalls
+    #: Cost of an OS-level synchronization primitive on one node (futex-ish).
+    os_sync_cost: float = 1.2e-6
+    #: Cost of spawning a task/thread on a node.
+    task_spawn_cost: float = 55e-6
+
+    def with_overrides(self, **kw) -> "MachineParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------- helpers
+    def seconds_per_flop(self) -> float:
+        return 1.0 / self.flops_per_second
+
+    def msg_stack_overhead(self) -> float:
+        """Per-message software overhead under the active messaging config."""
+        if self.coalesce_messaging:
+            return self.msg_stack_overhead_integrated
+        return self.msg_stack_overhead_separate
+
+
+#: Default parameters mirroring the paper's testbed.
+PAPER_PLATFORM = MachineParams()

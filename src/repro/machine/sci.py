@@ -1,0 +1,116 @@
+"""Dolphin SCI system-area network.
+
+SCI is the "shared memory cluster" interconnect of the paper (§3.2): it
+exposes *remote memory read/write transactions* — a CPU load/store to a
+mapped remote page becomes a hardware transaction, with no software protocol
+on the data path. The hybrid DSM (:mod:`repro.dsm.scivm`) builds on this.
+
+Two faces:
+
+* :class:`SciInterconnect` is also a regular :class:`Network` (SCI carries
+  message traffic too — HAMSTER's unified messaging uses it when present),
+  with much lower latency and per-message software cost than TCP/Ethernet.
+* The transaction API (:meth:`remote_read`, :meth:`remote_write`,
+  :meth:`remote_atomic`, :meth:`flush_write_buffer`) charges the *calling
+  process* synchronously, exactly like a CPU stalling on a remote load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.interconnect import Network
+from repro.machine.params import MachineParams
+
+__all__ = ["SciInterconnect"]
+
+
+class SciInterconnect(Network):
+    """SCI SAN: messaging + remote memory transactions."""
+
+    def __init__(self, engine, n_nodes: int, params: MachineParams) -> None:
+        super().__init__(engine, n_nodes)
+        self.params = params
+        self.latency = params.sci_write_latency  # messages ride posted writes
+        self.bandwidth = params.sci_write_bandwidth
+        self.framing_bytes = 16
+        # ------------------------------------------------- statistics
+        self.remote_reads = 0
+        self.remote_writes = 0
+        self.remote_read_bytes = 0
+        self.remote_write_bytes = 0
+        self.atomics = 0
+
+    # SCI message-passing rides on remote writes into receive rings; the
+    # software cost is tiny compared to a TCP stack traversal.
+    def sender_cpu_overhead(self) -> float:
+        return 1.2e-6
+
+    def receiver_cpu_overhead(self) -> float:
+        return 1.2e-6
+
+    # ---------------------------------------------------------- transactions
+    def hop_delay(self, src: Optional[int], dst: Optional[int]) -> float:
+        """Ring-topology latency component: SCI request packets travel
+        ``(dst - src) mod N`` link hops forward around the ringlet (the
+        response completes the loop, folded into the base latency).
+        Zero when topology modelling is disabled or endpoints unknown."""
+        if (src is None or dst is None or src == dst
+                or self.params.sci_hop_latency <= 0):
+            return 0.0
+        hops = (dst - src) % self.n_nodes
+        return hops * self.params.sci_hop_latency
+
+    def remote_read(self, nbytes: int, src: Optional[int] = None,
+                    dst: Optional[int] = None) -> None:
+        """Charge the calling process for reading ``nbytes`` from a remote
+        node's memory. Reads stall the CPU for the full round trip."""
+        if nbytes <= 0:
+            return
+        p = self.params
+        cost = (p.sci_read_latency + self.hop_delay(src, dst)
+                + nbytes / p.sci_read_bandwidth)
+        self.remote_reads += 1
+        self.remote_read_bytes += nbytes
+        self.engine.require_process().hold(cost)
+
+    def remote_write(self, nbytes: int, src: Optional[int] = None,
+                     dst: Optional[int] = None) -> None:
+        """Charge for writing ``nbytes`` to remote memory. Posted writes are
+        pipelined through the write buffer, so the visible latency is low
+        and bulk streams run at the write bandwidth."""
+        if nbytes <= 0:
+            return
+        p = self.params
+        cost = (p.sci_write_latency + self.hop_delay(src, dst)
+                + nbytes / p.sci_write_bandwidth)
+        self.remote_writes += 1
+        self.remote_write_bytes += nbytes
+        self.engine.require_process().hold(cost)
+
+    def remote_atomic(self, src: Optional[int] = None,
+                      dst: Optional[int] = None) -> None:
+        """Charge for one remote atomic transaction (fetch&inc — the lock
+        and barrier substrate on SCI)."""
+        self.atomics += 1
+        self.engine.require_process().hold(
+            self.params.sci_atomic_latency + self.hop_delay(src, dst))
+
+    def flush_write_buffer(self) -> None:
+        """Charge for draining the posted-write buffer (consistency point)."""
+        self.engine.require_process().hold(self.params.sci_flush_cost)
+
+    def map_pages(self, n_pages: int) -> None:
+        """Charge the one-time kernel cost of mapping ``n_pages`` remote
+        pages into the local address space (the SCI-VM kernel component)."""
+        if n_pages <= 0:
+            return
+        self.engine.require_process().hold(n_pages * self.params.sci_map_page_cost)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.remote_reads = 0
+        self.remote_writes = 0
+        self.remote_read_bytes = 0
+        self.remote_write_bytes = 0
+        self.atomics = 0

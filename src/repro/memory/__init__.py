@@ -1,0 +1,39 @@
+"""Global memory abstraction (§3.1).
+
+The one hard requirement HAMSTER places on a base architecture is a *global
+memory abstraction*: globally allocatable memory that every processor can
+transparently read and write. This package provides the architecture-neutral
+pieces:
+
+* :mod:`~repro.memory.address_space` — global addresses and regions,
+* :mod:`~repro.memory.page` — pages, protection states, page tables,
+* :mod:`~repro.memory.allocator` — the global allocator,
+* :mod:`~repro.memory.layout` — distribution annotations (block, cyclic,
+  explicit, first-touch home placement),
+* :mod:`~repro.memory.shared_array` — typed numpy views over regions with
+  page-accurate access accounting.
+
+The DSM substrates in :mod:`repro.dsm` implement the actual data movement
+and coherence on top of these.
+"""
+
+from repro.memory.address_space import GlobalAddressSpace, Region
+from repro.memory.allocator import GlobalAllocator
+from repro.memory.layout import Distribution, block, cyclic, explicit, first_touch, single_home
+from repro.memory.page import PageState, PageTable
+from repro.memory.shared_array import SharedArray
+
+__all__ = [
+    "GlobalAddressSpace",
+    "Region",
+    "GlobalAllocator",
+    "PageState",
+    "PageTable",
+    "Distribution",
+    "block",
+    "cyclic",
+    "explicit",
+    "first_touch",
+    "single_home",
+    "SharedArray",
+]

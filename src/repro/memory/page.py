@@ -1,0 +1,91 @@
+"""Pages, protection states, and per-node page tables.
+
+On the paper's platform, page protection lives in the MMU and the DSM reacts
+to SIGSEGV. Here protection is an explicit :class:`PageTable` consulted by
+the DSM on every (bulk) access; a protection miss plays the role of the page
+fault and triggers the same protocol transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List
+
+from repro.errors import ProtectionError
+
+__all__ = ["PageState", "PageTable"]
+
+
+class PageState(enum.IntEnum):
+    """Classic three-state page protection."""
+
+    INVALID = 0      #: no valid local copy; any access faults
+    READ_ONLY = 1    #: valid copy; writes fault (twin/diff protocols hook here)
+    READ_WRITE = 2   #: valid, writable copy
+
+    def allows(self, write: bool) -> bool:
+        if write:
+            return self is PageState.READ_WRITE
+        return self is not PageState.INVALID
+
+
+class PageTable:
+    """Protection states for one node (sparse: absent page = INVALID)."""
+
+    def __init__(self, name: str = "pt") -> None:
+        self.name = name
+        self._states: Dict[int, PageState] = {}
+        # ---------------------------------------------------- statistics
+        self.read_faults = 0
+        self.write_faults = 0
+
+    def state(self, page: int) -> PageState:
+        return self._states.get(page, PageState.INVALID)
+
+    def set_state(self, page: int, state: PageState) -> None:
+        if state is PageState.INVALID:
+            self._states.pop(page, None)
+        else:
+            self._states[page] = state
+
+    def invalidate(self, page: int) -> None:
+        self._states.pop(page, None)
+
+    def invalidate_many(self, pages: Iterable[int]) -> int:
+        """Invalidate the given pages; returns how many were actually valid."""
+        n = 0
+        for p in pages:
+            if self._states.pop(p, None) is not None:
+                n += 1
+        return n
+
+    def faulting_pages(self, pages: Iterable[int], write: bool) -> List[int]:
+        """Pages of ``pages`` whose current state does not allow the access.
+
+        This is the simulation's MMU walk: the returned pages are exactly the
+        ones that would have raised protection faults on real hardware.
+        """
+        out = []
+        for p in pages:
+            if not self.state(p).allows(write):
+                out.append(p)
+        if write:
+            self.write_faults += len(out)
+        else:
+            self.read_faults += len(out)
+        return out
+
+    def valid_pages(self) -> List[int]:
+        return sorted(self._states)
+
+    def check(self, page: int, write: bool) -> None:
+        """Raise :class:`ProtectionError` if the access is not allowed —
+        used by DSMs that have no way to service a fault (e.g. an access
+        to a page that was never globally allocated)."""
+        if not self.state(page).allows(write):
+            kind = "write" if write else "read"
+            raise ProtectionError(f"{self.name}: {kind} to page {page} "
+                                  f"in state {self.state(page).name}")
+
+    def __len__(self) -> int:
+        return len(self._states)

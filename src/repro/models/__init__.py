@@ -1,0 +1,49 @@
+"""Programming-model layers (§4.4, Table 2).
+
+Each module in this package is one thin shared-memory API implemented purely
+in terms of HAMSTER services — the paper's retargetability claim made
+concrete. The nine models of Table 2:
+
+================== ============================================ =================
+model               module                                       style
+================== ============================================ =================
+SPMD                :mod:`repro.models.spmd`                     HAMSTER-native
+SMP/SPMD            :mod:`repro.models.smp_spmd`                 HAMSTER-native
+ANL macros          :mod:`repro.models.anl`                      macro package
+TreadMarks API      :mod:`repro.models.treadmarks`               SW-DSM API
+HLRC API            :mod:`repro.models.hlrc`                     SW-DSM API
+JiaJia API (subset) :mod:`repro.models.jiajia_api`               SW-DSM API
+POSIX threads       :mod:`repro.models.pthreads`                 thread API
+Win32 threads       :mod:`repro.models.win32`                    thread API
+Cray shmem          :mod:`repro.models.shmem`                    one-sided put/get
+================== ============================================ =================
+
+The thread APIs share the active-message *command forwarding* facility in
+:mod:`repro.models.forwarding` (deliberately not a HAMSTER service — §5.2).
+:data:`MODEL_REGISTRY` drives the Table 2 complexity measurement.
+"""
+
+from repro.models.base import ProgrammingModel
+
+MODEL_REGISTRY = {
+    "SPMD model": ("repro.models.spmd", "SpmdModel"),
+    "SMP/SPMD model": ("repro.models.smp_spmd", "SmpSpmdModel"),
+    "ANL macros": ("repro.models.anl", "AnlMacros"),
+    "TreadMarks API": ("repro.models.treadmarks", "TreadMarksApi"),
+    "HLRC API": ("repro.models.hlrc", "HlrcApi"),
+    "JiaJia API (subset)": ("repro.models.jiajia_api", "JiaJiaApi"),
+    "POSIX threads": ("repro.models.pthreads", "PosixThreadsApi"),
+    "WIN32 threads": ("repro.models.win32", "Win32ThreadsApi"),
+    "Cray put/get (shmem) API": ("repro.models.shmem", "ShmemApi"),
+}
+
+
+def load_model(display_name: str):
+    """Import and return the model class for a Table 2 row name."""
+    import importlib
+
+    module_name, cls_name = MODEL_REGISTRY[display_name]
+    return getattr(importlib.import_module(module_name), cls_name)
+
+
+__all__ = ["ProgrammingModel", "MODEL_REGISTRY", "load_model"]

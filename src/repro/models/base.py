@@ -1,0 +1,69 @@
+"""Common machinery for programming-model layers.
+
+A :class:`ProgrammingModel` wraps a HAMSTER runtime and exposes one target
+API as methods. Implementing a new API (§4.4) means: map each call onto a
+HAMSTER service (or a small composition of them), pick the consistency
+model, the task structure, and an initialization template. The base class
+supplies the shared plumbing — startup delegation, per-task identity, and
+the ``API_CALLS`` manifest the Table 2 complexity measurement counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, ClassVar, List, Optional, Sequence, Tuple
+
+from repro.core.hamster import Hamster
+from repro.errors import ModelError
+
+__all__ = ["ProgrammingModel"]
+
+
+class ProgrammingModel:
+    """Base for all Table 2 model layers."""
+
+    #: display name matching Table 2's rows
+    MODEL_NAME: ClassVar[str] = "abstract"
+    #: names of the public API entry points (the "#API calls" column)
+    API_CALLS: ClassVar[Tuple[str, ...]] = ()
+    #: consistency model this API promises its applications
+    CONSISTENCY: ClassVar[str] = "release"
+
+    def __init__(self, hamster: Hamster) -> None:
+        self.hamster = hamster
+        self._check_consistency()
+
+    def _check_consistency(self) -> None:
+        # §4.5: the model's consistency must be recreatable on the
+        # substrate. Weaker-than-substrate rides free; otherwise the
+        # consistency module's optimized implementation closes the gap —
+        # instantiate it so acquire/release go through it when needed.
+        self.hamster.consistency.check_model(self.CONSISTENCY)
+        self._cons = self.hamster.consistency.use(self.CONSISTENCY)
+
+    # ------------------------------------------------------------- identity
+    def _rank(self) -> int:
+        return self.hamster.dsm.current_rank()
+
+    def _nranks(self) -> int:
+        return self.hamster.n_ranks
+
+    # -------------------------------------------------------------- startup
+    def run(self, main: Callable, args: tuple = ()) -> List[Any]:
+        """Launch ``main(model, *args)`` SPMD-style on every rank — the
+        default external-startup template. Thread-structured models
+        override this (they start a single main thread)."""
+        return self.hamster.run_spmd(lambda env, *a: main(self, *a), args=args)
+
+    # ------------------------------------------------------------ reflection
+    @classmethod
+    def api_call_count(cls) -> int:
+        return len(cls.API_CALLS)
+
+    @classmethod
+    def check_manifest(cls) -> None:
+        """Verify every declared API call exists as a public method —
+        keeps the Table 2 manifest honest."""
+        missing = [name for name in cls.API_CALLS if not callable(getattr(cls, name, None))]
+        if missing:
+            raise ModelError(
+                f"{cls.MODEL_NAME}: API_CALLS entries without methods: {missing}")

@@ -1,0 +1,128 @@
+"""HLRC API (Table 2, row 5).
+
+Home-based Lazy Release Consistency (Rangarajan/Iftode). The API is a large
+set of *very thin* calls — the paper measures 5.5 lines per call, the lowest
+of any model — because HLRC's primitives (home-based allocation, acquire/
+release pairs, explicit flushes, per-page home control) correspond almost
+exactly to individual HAMSTER services.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.memory.layout import Distribution, block, cyclic, explicit, single_home
+from repro.models.base import ProgrammingModel
+
+__all__ = ["HlrcApi"]
+
+
+class HlrcApi(ProgrammingModel):
+    """hlrc_* calls over HAMSTER services."""
+
+    MODEL_NAME = "HLRC API"
+    CONSISTENCY = "release"
+    API_CALLS = (
+        "hlrc_init", "hlrc_exit", "hlrc_my_pid", "hlrc_num_procs",
+        "hlrc_my_node", "hlrc_num_nodes",
+        "hlrc_malloc", "hlrc_malloc_array", "hlrc_free",
+        "hlrc_malloc_block", "hlrc_malloc_cyclic", "hlrc_malloc_onhome",
+        "hlrc_acquire", "hlrc_release", "hlrc_flush",
+        "hlrc_lock", "hlrc_unlock", "hlrc_trylock", "hlrc_newlock",
+        "hlrc_barrier",
+        "hlrc_wtime", "hlrc_stats", "hlrc_stats_reset",
+        "hlrc_capabilities", "hlrc_home_of",
+    )
+
+    # ------------------------------------------------------------ lifecycle
+    def hlrc_init(self) -> int:
+        self.hamster.sync.barrier()
+        return self._rank()
+
+    def hlrc_exit(self) -> None:
+        self.hamster.consistency.fence()
+        self.hamster.sync.barrier()
+
+    def hlrc_my_pid(self) -> int:
+        return self.hamster.task.my_rank()
+
+    def hlrc_num_procs(self) -> int:
+        return self.hamster.task.n_tasks()
+
+    def hlrc_my_node(self) -> int:
+        return self.hamster.cluster_ctl.my_node()
+
+    def hlrc_num_nodes(self) -> int:
+        return self.hamster.cluster_ctl.n_nodes()
+
+    # ---------------------------------------------------------------- memory
+    def hlrc_malloc(self, nbytes: int, distribution: Optional[Distribution] = None):
+        """Global synchronous allocation (all processes, implicit barrier)."""
+        return self.hamster.memory.alloc_collective(nbytes, distribution=distribution)
+
+    def hlrc_malloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
+                          name: str = "", distribution: Optional[Distribution] = None):
+        return self.hamster.memory.alloc_array_collective(
+            shape, dtype=dtype, name=name, distribution=distribution)
+
+    def hlrc_free(self, target) -> None:
+        self.hamster.memory.free(target)
+
+    def hlrc_malloc_block(self, shape: Sequence[int], dtype: Any = np.float64,
+                          name: str = ""):
+        """Home-control convenience: block page placement."""
+        return self.hlrc_malloc_array(shape, dtype, name, distribution=block())
+
+    def hlrc_malloc_cyclic(self, shape: Sequence[int], dtype: Any = np.float64,
+                           name: str = ""):
+        return self.hlrc_malloc_array(shape, dtype, name, distribution=cyclic())
+
+    def hlrc_malloc_onhome(self, shape: Sequence[int], home: int,
+                           dtype: Any = np.float64, name: str = ""):
+        return self.hlrc_malloc_array(shape, dtype, name,
+                                      distribution=single_home(home))
+
+    def hlrc_home_of(self, array, page_index: int) -> int:
+        """Home rank of the ``page_index``-th page of an allocation."""
+        return self.hamster.dsm.home_of(array.region.first_page + page_index)
+
+    # ------------------------------------------------------------ consistency
+    def hlrc_acquire(self, scope: int) -> None:
+        self.hamster.consistency.acquire(scope)
+
+    def hlrc_release(self, scope: int) -> None:
+        self.hamster.consistency.release(scope)
+
+    def hlrc_flush(self) -> None:
+        self.hamster.consistency.fence()
+
+    # ------------------------------------------------------- synchronization
+    def hlrc_lock(self, lock_id: int) -> None:
+        self.hamster.sync.lock(lock_id)
+
+    def hlrc_unlock(self, lock_id: int) -> None:
+        self.hamster.sync.unlock(lock_id)
+
+    def hlrc_trylock(self, lock_id: int) -> bool:
+        return self.hamster.sync.try_lock(lock_id)
+
+    def hlrc_newlock(self) -> int:
+        return self.hamster.sync.new_lock()
+
+    def hlrc_barrier(self) -> None:
+        self.hamster.sync.barrier()
+
+    # ----------------------------------------------------- timing/monitoring
+    def hlrc_wtime(self) -> float:
+        return self.hamster.timing.wtime()
+
+    def hlrc_stats(self, rank: Optional[int] = None) -> dict:
+        return self.hamster.memory.access_stats(rank)
+
+    def hlrc_stats_reset(self) -> None:
+        self.hamster.memory.reset_access_stats()
+
+    def hlrc_capabilities(self) -> frozenset:
+        return self.hamster.memory.capabilities()

@@ -1,0 +1,96 @@
+"""Native JiaJia binding — the Figure 2 baseline.
+
+Byte-identical API surface to :class:`repro.models.jiajia_api.JiaJiaApi`,
+but bound *directly* to the JiaJia DSM: no HAMSTER service dispatch (only
+the thin native wrapper cost per call), and the DSM runs its own stand-alone
+messaging stack (build it from the ``native-jiajia-*`` presets, which set
+``integrated_messaging=False``).
+
+This class is deliberately outside Table 2's measurement set: it represents
+the *unmodified standard distribution of JiaJia*, not a HAMSTER programming
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.memory.layout import Distribution
+
+__all__ = ["NativeJiaJiaApi"]
+
+
+class NativeJiaJiaApi:
+    """jia_* calls straight onto the DSM substrate."""
+
+    MODEL_NAME = "JiaJia (native)"
+
+    def __init__(self, hamster) -> None:
+        # The native build still receives the assembled platform object for
+        # startup/teardown convenience, but the data path below never enters
+        # the HAMSTER modules.
+        self.hamster = hamster
+        self.dsm = hamster.dsm
+        if self.dsm.kind != "jiajia":
+            raise ModelError("the native JiaJia binding needs the jiajia DSM")
+        self._params = hamster.params
+        # Collective-allocation rendezvous (JiaJia's own global alloc).
+        self._alloc_seq: dict = {}
+        self._alloc_results: dict = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _charge(self) -> None:
+        """Thin native-wrapper cost per API call."""
+        rank = self.dsm.current_rank()
+        self.hamster.cluster.node(self.dsm.node_of(rank)).cpu_time(
+            self._params.native_call_overhead)
+
+    def run(self, main: Callable, args: tuple = ()) -> List[Any]:
+        return self.hamster.run_spmd(lambda env, *a: main(self, *a), args=args)
+
+    # ------------------------------------------------------------------ api
+    def jia_init(self) -> tuple:
+        self._charge()
+        return self.dsm.current_rank(), self.dsm.n_procs
+
+    def jia_exit(self) -> None:
+        self._charge()
+        self.dsm.barrier()
+
+    def jia_alloc(self, nbytes: int, distribution: Optional[Distribution] = None):
+        self._charge()
+        return self._collective(lambda: self.dsm.allocate(nbytes, distribution=distribution))
+
+    def jia_alloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
+                        name: str = "", distribution: Optional[Distribution] = None):
+        self._charge()
+        return self._collective(lambda: self.dsm.make_array(
+            shape, dtype=dtype, name=name, distribution=distribution))
+
+    def _collective(self, make):
+        rank = self.dsm.current_rank()
+        seq = self._alloc_seq.get(rank, 0)
+        self._alloc_seq[rank] = seq + 1
+        if seq not in self._alloc_results:
+            self._alloc_results[seq] = make()
+        self.dsm.barrier()
+        return self._alloc_results[seq]
+
+    def jia_lock(self, lock_id: int) -> None:
+        self._charge()
+        self.dsm.lock(lock_id)
+
+    def jia_unlock(self, lock_id: int) -> None:
+        self._charge()
+        self.dsm.unlock(lock_id)
+
+    def jia_barrier(self) -> None:
+        self._charge()
+        self.dsm.barrier()
+
+    def jia_wtime(self) -> float:
+        self._charge()
+        return self.hamster.engine.now

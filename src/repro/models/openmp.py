@@ -1,0 +1,237 @@
+"""OpenMP-flavoured model (extension beyond Table 2).
+
+The paper's motivation names OpenMP as "the most notable effort" toward
+shared-memory standardization (§1) but targets SMPs only; HAMSTER's pitch
+is exactly that such a model could run on clusters too. This layer
+delivers that: an OpenMP-style API — parallel-for with static/dynamic/
+guided schedules, critical sections, typed reductions, single/master
+regions, ordered loops — over HAMSTER services, portable to every
+platform.
+
+Not part of the Table 2 measurement set (the paper had not implemented it);
+the Table 2 methodology still applies to it through
+``repro.bench.loc_metrics.count_logical_lines`` if desired.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.base import ProgrammingModel
+
+__all__ = ["OpenMpModel"]
+
+#: reduction operator table (name -> (numpy fold, identity))
+_REDUCTIONS = {
+    "+": (np.add.reduce, 0.0),
+    "*": (np.multiply.reduce, 1.0),
+    "max": (np.maximum.reduce, -np.inf),
+    "min": (np.minimum.reduce, np.inf),
+}
+
+
+class OpenMpModel(ProgrammingModel):
+    """omp_* calls over HAMSTER services."""
+
+    MODEL_NAME = "OpenMP-like model"
+    CONSISTENCY = "release"
+    API_CALLS = (
+        "omp_get_thread_num", "omp_get_num_threads", "omp_in_parallel",
+        "omp_parallel_for", "omp_schedule_static", "omp_schedule_dynamic",
+        "omp_schedule_guided",
+        "omp_critical", "omp_atomic_add",
+        "omp_barrier", "omp_single", "omp_master", "omp_ordered",
+        "omp_reduce", "omp_set_lock", "omp_unset_lock", "omp_init_lock",
+        "omp_get_wtime", "omp_flush",
+    )
+
+    #: dynamic-schedule chunk size default
+    DEFAULT_CHUNK = 8
+
+    def __init__(self, hamster) -> None:
+        super().__init__(hamster)
+        self._critical_lock = hamster.sync.new_lock()
+        self._sched_lock = hamster.sync.new_lock()
+        self._ordered_lock = hamster.sync.new_lock()
+        #: shared dynamic-schedule cursors, step -> next index
+        self._cursors: dict = {}
+        self._steps = itertools.count()
+        self._step_of_rank: dict = {}
+        self._reduce_slots: dict = {}
+        self._ordered_turn: dict = {}
+
+    # -------------------------------------------------------------- identity
+    def omp_get_thread_num(self) -> int:
+        return self.hamster.task.my_rank()
+
+    def omp_get_num_threads(self) -> int:
+        return self.hamster.task.n_tasks()
+
+    def omp_in_parallel(self) -> bool:
+        """Always true under the SPMD task structure (the 'parallel region'
+        is the whole program, as with OMP_PARALLEL at main)."""
+        return self.omp_get_num_threads() > 1
+
+    # ------------------------------------------------------------- schedules
+    def omp_schedule_static(self, n: int, chunk: Optional[int] = None) -> List[range]:
+        """This thread's index ranges under a static schedule."""
+        me, width = self.omp_get_thread_num(), self.omp_get_num_threads()
+        if chunk is None:
+            per = (n + width - 1) // width
+            lo = min(me * per, n)
+            return [range(lo, min(lo + per, n))]
+        return [range(start, min(start + chunk, n))
+                for start in range(me * chunk, n, width * chunk)]
+
+    def _shared_cursor_next(self, key, n: int, take: int) -> range:
+        """Atomically claim ``take`` indices from a shared cursor."""
+        self.hamster.sync.lock(self._sched_lock)
+        try:
+            start = self._cursors.get(key, 0)
+            stop = min(start + take, n)
+            self._cursors[key] = stop
+            return range(start, stop)
+        finally:
+            self.hamster.sync.unlock(self._sched_lock)
+
+    def omp_schedule_dynamic(self, n: int, chunk: int = DEFAULT_CHUNK
+                             ) -> Iterable[range]:
+        """Generator of index chunks under dynamic (work-stealing-ish)
+        scheduling; all threads must iterate it inside the same phase."""
+        key = self._phase_key(n, "dyn")
+        while True:
+            got = self._shared_cursor_next(key, n, chunk)
+            if not got:
+                return
+            yield got
+
+    def omp_schedule_guided(self, n: int, minimum: int = 4) -> Iterable[range]:
+        """Guided schedule: chunks shrink as the iteration space drains."""
+        key = self._phase_key(n, "gui")
+        width = self.omp_get_num_threads()
+        while True:
+            self.hamster.sync.lock(self._sched_lock)
+            try:
+                start = self._cursors.get(key, 0)
+                remaining = n - start
+                if remaining <= 0:
+                    return
+                take = max(minimum, remaining // (2 * width))
+                stop = min(start + take, n)
+                self._cursors[key] = stop
+            finally:
+                self.hamster.sync.unlock(self._sched_lock)
+            yield range(start, stop)
+
+    def _phase_key(self, n: int, tag: str):
+        """One shared cursor per (loop phase, tag): ranks entering their
+        k-th scheduled loop share cursor k."""
+        rank = self.omp_get_thread_num()
+        count = self._step_of_rank.get((rank, tag), 0)
+        self._step_of_rank[(rank, tag)] = count + 1
+        return (tag, count, n)
+
+    def omp_parallel_for(self, n: int, body: Callable[[int], None],
+                         schedule: str = "static", chunk: Optional[int] = None
+                         ) -> None:
+        """Run ``body(i)`` for i in range(n) across all threads; implicit
+        barrier at the end (as in OpenMP without nowait)."""
+        if schedule == "static":
+            spans = self.omp_schedule_static(n, chunk)
+        elif schedule == "dynamic":
+            spans = self.omp_schedule_dynamic(n, chunk or self.DEFAULT_CHUNK)
+        elif schedule == "guided":
+            spans = self.omp_schedule_guided(n)
+        else:
+            raise ModelError(f"unknown schedule {schedule!r}")
+        for span in spans:
+            for i in span:
+                body(i)
+        self.omp_barrier()
+
+    # ---------------------------------------------------------------- blocks
+    def omp_critical(self, body: Callable[[], Any]) -> Any:
+        self.hamster.sync.lock(self._critical_lock)
+        try:
+            return body()
+        finally:
+            self.hamster.sync.unlock(self._critical_lock)
+
+    def omp_atomic_add(self, array, index: Any, value: float) -> float:
+        """Atomic `array[index] += value`; returns the new value."""
+        def add():
+            new = float(array[index]) + value
+            array[index] = new
+            self.hamster.consistency.fence()
+            return new
+        return self.omp_critical(add)
+
+    def omp_barrier(self) -> None:
+        self.hamster.sync.barrier()
+
+    def omp_single(self, body: Callable[[], Any]) -> Any:
+        """Exactly one thread executes; result broadcast; implicit barrier."""
+        me = self.omp_get_thread_num()
+        # Phase-keyed: every rank's k-th single region shares one slot.
+        key = f"omp.single.{self._phase_key(0, 'single')[1]}"
+        if me == 0:
+            self.hamster.cluster_ctl.publish(key, body())
+        self.omp_barrier()
+        value = self.hamster.cluster_ctl.lookup(key)
+        self.omp_barrier()
+        return value
+
+    def omp_master(self, body: Callable[[], Any]) -> Any:
+        """Thread 0 executes; NO implicit barrier (as in OpenMP)."""
+        if self.omp_get_thread_num() == 0:
+            return body()
+        return None
+
+    def omp_ordered(self, iteration: int, total: int, body: Callable[[], Any]) -> Any:
+        """Execute ``body`` in ascending ``iteration`` order across threads
+        (the OMP ORDERED construct for a loop of ``total`` iterations)."""
+        proc = self.hamster.engine.require_process()
+        key = total
+        while self._ordered_turn.get(key, 0) != iteration:
+            proc.hold(2e-6)  # wait for our turn
+        try:
+            return body()
+        finally:
+            self._ordered_turn[key] = iteration + 1
+
+    # ------------------------------------------------------------- reduction
+    def omp_reduce(self, value: float, op: str = "+") -> float:
+        """All-reduce a per-thread value; every thread returns the result."""
+        if op not in _REDUCTIONS:
+            raise ModelError(f"unknown reduction op {op!r}; "
+                             f"known: {sorted(_REDUCTIONS)}")
+        me, width = self.omp_get_thread_num(), self.omp_get_num_threads()
+        key = self._phase_key(0, "red")[1]
+        slot = self._reduce_slots.setdefault(key, {})
+        slot[me] = value
+        self.omp_barrier()
+        fold, _identity = _REDUCTIONS[op]
+        result = float(fold(np.array([slot[r] for r in range(width)])))
+        self.omp_barrier()
+        return result
+
+    # ----------------------------------------------------------------- locks
+    def omp_init_lock(self) -> int:
+        return self.hamster.sync.new_lock()
+
+    def omp_set_lock(self, lock: int) -> None:
+        self.hamster.sync.lock(lock)
+
+    def omp_unset_lock(self, lock: int) -> None:
+        self.hamster.sync.unlock(lock)
+
+    # ------------------------------------------------------------------ misc
+    def omp_get_wtime(self) -> float:
+        return self.hamster.timing.wtime()
+
+    def omp_flush(self) -> None:
+        self.hamster.consistency.fence()

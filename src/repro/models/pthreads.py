@@ -1,0 +1,491 @@
+"""POSIX threads API (Table 2, row 7).
+
+A *distributed* pthreads: threads are created across the cluster's nodes
+but share the global memory abstraction, so unmodified pthread programs run
+on any HAMSTER platform. The characteristic complexity of the thread APIs
+(§5.2) is the **forwarding mechanism**: a threading routine executes either
+on the node where the target thread runs, or — for creation — on the node
+where the new thread *should* run. Forwarding rides the active-message
+facility of :mod:`repro.models.forwarding`; HAMSTER itself deliberately
+offers no forwarding service.
+
+Error returns follow the POSIX convention (0 on success / errno values),
+except where Python exceptions are clearly better (invalid handles).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.models.base import ProgrammingModel
+from repro.models.forwarding import ForwardingService
+
+__all__ = ["PosixThreadsApi", "PthreadAttr"]
+
+# errno values used by the API
+EBUSY = 16
+EINVAL = 22
+ETIMEDOUT = 110
+PTHREAD_CANCELED = object()
+
+PTHREAD_CREATE_JOINABLE = 0
+PTHREAD_CREATE_DETACHED = 1
+PTHREAD_CANCEL_ENABLE = 0
+PTHREAD_CANCEL_DISABLE = 1
+
+PTHREAD_MUTEX_NORMAL = 0
+PTHREAD_MUTEX_RECURSIVE = 1
+
+
+class _PthreadExit(Exception):
+    def __init__(self, retval: Any) -> None:
+        super().__init__("pthread_exit")
+        self.retval = retval
+
+
+@dataclass
+class PthreadAttr:
+    """Thread creation attributes (+ the distributed extension: placement)."""
+
+    detachstate: int = PTHREAD_CREATE_JOINABLE
+    node: Optional[int] = None  # target rank; None -> round-robin
+
+
+@dataclass
+class _Thread:
+    tid: int
+    rank: int
+    handle: Any = None
+    retval: Any = None
+    detached: bool = False
+    finished: bool = False
+    cancel_requested: bool = False
+    cancel_state: int = PTHREAD_CANCEL_ENABLE
+    specific: Dict[int, Any] = field(default_factory=dict)
+
+
+class _Mutex:
+    __slots__ = ("lock_id", "kind", "owner", "depth")
+
+    def __init__(self, lock_id: int, kind: int) -> None:
+        self.lock_id = lock_id
+        self.kind = kind
+        self.owner: Optional[int] = None
+        self.depth = 0
+
+
+class PosixThreadsApi(ProgrammingModel):
+    """pthread_* calls over HAMSTER services + command forwarding."""
+
+    MODEL_NAME = "POSIX threads"
+    CONSISTENCY = "release"
+    API_CALLS = (
+        "pthread_create", "pthread_exit", "pthread_join", "pthread_detach",
+        "pthread_self", "pthread_equal", "pthread_once", "pthread_cancel",
+        "pthread_testcancel", "pthread_setcancelstate", "sched_yield",
+        "pthread_attr_init", "pthread_attr_destroy",
+        "pthread_attr_setdetachstate", "pthread_attr_getdetachstate",
+        "pthread_attr_setnode", "pthread_attr_getnode",
+        "pthread_mutex_init", "pthread_mutex_destroy", "pthread_mutex_lock",
+        "pthread_mutex_trylock", "pthread_mutex_unlock",
+        "pthread_mutexattr_init", "pthread_mutexattr_destroy",
+        "pthread_mutexattr_settype", "pthread_mutexattr_gettype",
+        "pthread_cond_init", "pthread_cond_destroy", "pthread_cond_wait",
+        "pthread_cond_timedwait", "pthread_cond_signal",
+        "pthread_cond_broadcast", "pthread_condattr_init",
+        "pthread_condattr_destroy",
+        "pthread_key_create", "pthread_key_delete",
+        "pthread_setspecific", "pthread_getspecific",
+        "pthread_rwlock_init", "pthread_rwlock_destroy",
+        "pthread_rwlock_rdlock", "pthread_rwlock_tryrdlock",
+        "pthread_rwlock_wrlock", "pthread_rwlock_trywrlock",
+        "pthread_rwlock_unlock",
+        "pthread_barrier_init", "pthread_barrier_destroy",
+        "pthread_barrier_wait", "pthread_barrierattr_init",
+        "pthread_barrierattr_destroy",
+        "pthread_getconcurrency", "pthread_setconcurrency",
+    )
+
+    def __init__(self, hamster) -> None:
+        super().__init__(hamster)
+        self.fwd = ForwardingService(hamster, channel_name="pthread.fwd")
+        self.fwd.register("create", self._do_create)
+        self.fwd.register("join", self._do_join)
+        self._tids = itertools.count(2)  # tid 1 is the main thread
+        self._threads: Dict[int, _Thread] = {}
+        self._proc_tid: Dict[int, int] = {}
+        self._next_rank = itertools.count(1)  # round-robin after main's rank 0
+        self._keys = itertools.count(1)
+        self._live_keys: set = set()
+        self._once_done: set = set()
+        # Eager creation: lazy lock creation from inside a task can be
+        # raced by another rank mid-charge.
+        self._once_lock: int = hamster.sync.new_lock()
+        self._concurrency = 0
+
+    # -------------------------------------------------------------- startup
+    def run(self, main: Callable, args: tuple = ()) -> Any:
+        """Thread task structure: one *main thread* on rank 0; all other
+        parallelism comes from pthread_create."""
+        def entry(env):
+            if env.rank != 0:
+                return None  # other ranks host created threads only
+            me = _Thread(tid=1, rank=0)
+            self._threads[1] = me
+            self._proc_tid[env.proc.pid] = 1
+            try:
+                return main(self, *args)
+            except _PthreadExit as stop:
+                return stop.retval
+        results = self.hamster.run_spmd(entry)
+        return results[0]
+
+    # ------------------------------------------------------ thread lifecycle
+    def pthread_create(self, start_routine: Callable, arg: Any = None,
+                       attr: Optional[PthreadAttr] = None) -> int:
+        """Create a thread; executes the creation on the node where the
+        thread will run (forwarded when remote). Returns the new tid."""
+        attr = attr or PthreadAttr()
+        if attr.node is not None:
+            rank = attr.node
+        else:
+            rank = next(self._next_rank) % self._nranks()
+        tid = next(self._tids)
+        self.fwd.invoke(rank, "create", tid, rank, start_routine, arg,
+                        attr.detachstate == PTHREAD_CREATE_DETACHED)
+        return tid
+
+    def _do_create(self, tid: int, rank: int, start_routine: Callable,
+                   arg: Any, detached: bool) -> int:
+        thread = _Thread(tid=tid, rank=rank, detached=detached)
+        self._threads[tid] = thread
+
+        def body() -> Any:
+            proc = self.hamster.engine.require_process()
+            self._proc_tid[proc.pid] = tid
+            try:
+                thread.retval = start_routine(arg)
+            except _PthreadExit as stop:
+                thread.retval = stop.retval
+            finally:
+                thread.finished = True
+                self._proc_tid.pop(proc.pid, None)
+            return thread.retval
+
+        thread.handle = self.hamster.task.spawn_local(rank, body,
+                                                      name=f"pthread{tid}")
+        return tid
+
+    def pthread_exit(self, retval: Any = None) -> None:
+        raise _PthreadExit(retval)
+
+    def pthread_join(self, tid: int) -> Tuple[int, Any]:
+        """Join; forwarded to the node hosting the target thread. Returns
+        (0, retval) POSIX-style."""
+        thread = self._thread(tid)
+        if thread.detached:
+            return EINVAL, None
+        retval = self.fwd.invoke(thread.rank, "join", tid)
+        self._threads.pop(tid, None)
+        return 0, retval
+
+    def _do_join(self, tid: int) -> Any:
+        thread = self._thread(tid)
+        if thread.handle is not None:
+            self.hamster.task.join(thread.handle)
+        return PTHREAD_CANCELED if thread.cancel_requested and thread.finished \
+            and thread.retval is None and thread.cancel_state == PTHREAD_CANCEL_ENABLE \
+            else thread.retval
+
+    def pthread_detach(self, tid: int) -> int:
+        self._thread(tid).detached = True
+        return 0
+
+    def pthread_self(self) -> int:
+        proc = self.hamster.engine.require_process()
+        return self._proc_tid.get(proc.pid, 0)
+
+    def pthread_equal(self, a: int, b: int) -> bool:
+        return a == b
+
+    def pthread_once(self, once_control: str, init_routine: Callable) -> int:
+        self.hamster.sync.lock(self._once_lock)
+        try:
+            if once_control not in self._once_done:
+                self._once_done.add(once_control)
+                init_routine()
+        finally:
+            self.hamster.sync.unlock(self._once_lock)
+        return 0
+
+    def pthread_cancel(self, tid: int) -> int:
+        """Deferred cancellation: marks the thread; it terminates at its
+        next cancellation point (pthread_testcancel)."""
+        self._thread(tid).cancel_requested = True
+        return 0
+
+    def pthread_testcancel(self) -> None:
+        tid = self.pthread_self()
+        thread = self._threads.get(tid)
+        if (thread is not None and thread.cancel_requested
+                and thread.cancel_state == PTHREAD_CANCEL_ENABLE):
+            raise _PthreadExit(PTHREAD_CANCELED)
+
+    def pthread_setcancelstate(self, state: int) -> int:
+        thread = self._threads.get(self.pthread_self())
+        if thread is None or state not in (PTHREAD_CANCEL_ENABLE, PTHREAD_CANCEL_DISABLE):
+            return EINVAL
+        thread.cancel_state = state
+        return 0
+
+    def sched_yield(self) -> int:
+        self.hamster.engine.require_process().hold(1e-6)
+        return 0
+
+    # ----------------------------------------------------------------- attrs
+    def pthread_attr_init(self) -> PthreadAttr:
+        return PthreadAttr()
+
+    def pthread_attr_destroy(self, attr: PthreadAttr) -> int:
+        return 0
+
+    def pthread_attr_setdetachstate(self, attr: PthreadAttr, state: int) -> int:
+        if state not in (PTHREAD_CREATE_JOINABLE, PTHREAD_CREATE_DETACHED):
+            return EINVAL
+        attr.detachstate = state
+        return 0
+
+    def pthread_attr_getdetachstate(self, attr: PthreadAttr) -> int:
+        return attr.detachstate
+
+    def pthread_attr_setnode(self, attr: PthreadAttr, rank: int) -> int:
+        """Distributed extension: pin the new thread to a rank."""
+        if not (0 <= rank < self._nranks()):
+            return EINVAL
+        attr.node = rank
+        return 0
+
+    def pthread_attr_getnode(self, attr: PthreadAttr) -> Optional[int]:
+        return attr.node
+
+    # --------------------------------------------------------------- mutexes
+    def pthread_mutex_init(self, kind: int = PTHREAD_MUTEX_NORMAL) -> _Mutex:
+        return _Mutex(self.hamster.sync.new_lock(), kind)
+
+    def pthread_mutex_destroy(self, mutex: _Mutex) -> int:
+        return EBUSY if mutex.owner is not None else 0
+
+    def pthread_mutex_lock(self, mutex: _Mutex) -> int:
+        tid = self.pthread_self()
+        if mutex.kind == PTHREAD_MUTEX_RECURSIVE and mutex.owner == tid:
+            mutex.depth += 1
+            return 0
+        self.hamster.sync.lock(mutex.lock_id)
+        mutex.owner, mutex.depth = tid, 1
+        return 0
+
+    def pthread_mutex_trylock(self, mutex: _Mutex) -> int:
+        tid = self.pthread_self()
+        if mutex.kind == PTHREAD_MUTEX_RECURSIVE and mutex.owner == tid:
+            mutex.depth += 1
+            return 0
+        if self.hamster.sync.try_lock(mutex.lock_id):
+            mutex.owner, mutex.depth = tid, 1
+            return 0
+        return EBUSY
+
+    def pthread_mutex_unlock(self, mutex: _Mutex) -> int:
+        if mutex.owner != self.pthread_self():
+            return EINVAL
+        mutex.depth -= 1
+        if mutex.depth == 0:
+            mutex.owner = None
+            self.hamster.sync.unlock(mutex.lock_id)
+        return 0
+
+    def pthread_mutexattr_init(self) -> dict:
+        return {"type": PTHREAD_MUTEX_NORMAL}
+
+    def pthread_mutexattr_destroy(self, attr: dict) -> int:
+        return 0
+
+    def pthread_mutexattr_settype(self, attr: dict, kind: int) -> int:
+        if kind not in (PTHREAD_MUTEX_NORMAL, PTHREAD_MUTEX_RECURSIVE):
+            return EINVAL
+        attr["type"] = kind
+        return 0
+
+    def pthread_mutexattr_gettype(self, attr: dict) -> int:
+        return attr["type"]
+
+    # ------------------------------------------------------------ conditions
+    def pthread_cond_init(self, mutex: _Mutex):
+        return self.hamster.sync.new_condition(mutex.lock_id)
+
+    def pthread_cond_destroy(self, cond) -> int:
+        return EBUSY if cond._waiters else 0
+
+    def pthread_cond_wait(self, cond, mutex: _Mutex) -> int:
+        tid = self.pthread_self()
+        mutex.owner = None
+        cond.wait()
+        mutex.owner, mutex.depth = tid, 1
+        return 0
+
+    def pthread_cond_timedwait(self, cond, mutex: _Mutex, timeout: float) -> int:
+        tid = self.pthread_self()
+        mutex.owner = None
+        signaled = cond.wait(timeout=timeout)
+        mutex.owner, mutex.depth = tid, 1
+        return 0 if signaled else ETIMEDOUT
+
+    def pthread_cond_signal(self, cond) -> int:
+        cond.signal()
+        return 0
+
+    def pthread_cond_broadcast(self, cond) -> int:
+        cond.broadcast()
+        return 0
+
+    def pthread_condattr_init(self) -> dict:
+        return {}
+
+    def pthread_condattr_destroy(self, attr: dict) -> int:
+        return 0
+
+    # -------------------------------------------------------- thread-specific
+    def pthread_key_create(self) -> int:
+        key = next(self._keys)
+        self._live_keys.add(key)
+        return key
+
+    def pthread_key_delete(self, key: int) -> int:
+        if key not in self._live_keys:
+            return EINVAL
+        self._live_keys.discard(key)
+        for thread in self._threads.values():
+            thread.specific.pop(key, None)
+        return 0
+
+    def pthread_setspecific(self, key: int, value: Any) -> int:
+        if key not in self._live_keys:
+            return EINVAL
+        self._thread(self.pthread_self()).specific[key] = value
+        return 0
+
+    def pthread_getspecific(self, key: int) -> Any:
+        thread = self._threads.get(self.pthread_self())
+        return None if thread is None else thread.specific.get(key)
+
+    # ----------------------------------------------------------------- rwlock
+    def pthread_rwlock_init(self) -> dict:
+        mutex = self.pthread_mutex_init()
+        return {"mutex": mutex, "cond": self.pthread_cond_init(mutex),
+                "readers": 0, "writer": False}
+
+    def pthread_rwlock_destroy(self, rw: dict) -> int:
+        return EBUSY if rw["readers"] or rw["writer"] else 0
+
+    def pthread_rwlock_rdlock(self, rw: dict) -> int:
+        self.pthread_mutex_lock(rw["mutex"])
+        while rw["writer"]:
+            self.pthread_cond_wait(rw["cond"], rw["mutex"])
+        rw["readers"] += 1
+        self.pthread_mutex_unlock(rw["mutex"])
+        return 0
+
+    def pthread_rwlock_tryrdlock(self, rw: dict) -> int:
+        if self.pthread_mutex_trylock(rw["mutex"]) != 0:
+            return EBUSY
+        try:
+            if rw["writer"]:
+                return EBUSY
+            rw["readers"] += 1
+            return 0
+        finally:
+            self.pthread_mutex_unlock(rw["mutex"])
+
+    def pthread_rwlock_wrlock(self, rw: dict) -> int:
+        self.pthread_mutex_lock(rw["mutex"])
+        while rw["writer"] or rw["readers"]:
+            self.pthread_cond_wait(rw["cond"], rw["mutex"])
+        rw["writer"] = True
+        self.pthread_mutex_unlock(rw["mutex"])
+        return 0
+
+    def pthread_rwlock_trywrlock(self, rw: dict) -> int:
+        if self.pthread_mutex_trylock(rw["mutex"]) != 0:
+            return EBUSY
+        try:
+            if rw["writer"] or rw["readers"]:
+                return EBUSY
+            rw["writer"] = True
+            return 0
+        finally:
+            self.pthread_mutex_unlock(rw["mutex"])
+
+    def pthread_rwlock_unlock(self, rw: dict) -> int:
+        self.pthread_mutex_lock(rw["mutex"])
+        if rw["writer"]:
+            rw["writer"] = False
+        elif rw["readers"]:
+            rw["readers"] -= 1
+        else:
+            self.pthread_mutex_unlock(rw["mutex"])
+            return EINVAL
+        self.pthread_cond_broadcast(rw["cond"])
+        self.pthread_mutex_unlock(rw["mutex"])
+        return 0
+
+    # ---------------------------------------------------------------- barrier
+    def pthread_barrier_init(self, count: int) -> dict:
+        if count < 1:
+            raise ModelError("pthread_barrier_init: count must be >= 1")
+        mutex = self.pthread_mutex_init()
+        return {"mutex": mutex, "cond": self.pthread_cond_init(mutex),
+                "count": count, "arrived": 0, "generation": 0}
+
+    def pthread_barrier_destroy(self, bar: dict) -> int:
+        return EBUSY if bar["arrived"] else 0
+
+    def pthread_barrier_wait(self, bar: dict) -> int:
+        """Returns PTHREAD_BARRIER_SERIAL_THREAD (-1) for one waiter."""
+        self.pthread_mutex_lock(bar["mutex"])
+        gen = bar["generation"]
+        bar["arrived"] += 1
+        if bar["arrived"] == bar["count"]:
+            bar["arrived"] = 0
+            bar["generation"] += 1
+            self.pthread_cond_broadcast(bar["cond"])
+            self.pthread_mutex_unlock(bar["mutex"])
+            return -1
+        while bar["generation"] == gen:
+            self.pthread_cond_wait(bar["cond"], bar["mutex"])
+        self.pthread_mutex_unlock(bar["mutex"])
+        return 0
+
+    def pthread_barrierattr_init(self) -> dict:
+        return {}
+
+    def pthread_barrierattr_destroy(self, attr: dict) -> int:
+        return 0
+
+    # ----------------------------------------------------------- concurrency
+    def pthread_getconcurrency(self) -> int:
+        return self._concurrency
+
+    def pthread_setconcurrency(self, level: int) -> int:
+        if level < 0:
+            return EINVAL
+        self._concurrency = level
+        return 0
+
+    # ------------------------------------------------------------- internals
+    def _thread(self, tid: int) -> _Thread:
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise ModelError(f"unknown thread id {tid}") from None

@@ -1,0 +1,136 @@
+"""The SPMD programming model (Table 2, row 1).
+
+The first model implemented within the project (§5.2): a user-friendly
+export of most HAMSTER services under a single flat API, intended both for
+direct application programming and as the basis for run-time systems. Its
+calls have deliberately *broad* functionality (collective allocation with
+distribution annotations, combined timing/statistics queries), which is why
+it costs more lines per call than the thin DSM APIs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.memory.layout import Distribution
+from repro.models.base import ProgrammingModel
+
+__all__ = ["SpmdModel"]
+
+
+class SpmdModel(ProgrammingModel):
+    """Flat SPMD API over the full breadth of HAMSTER services."""
+
+    MODEL_NAME = "SPMD model"
+    CONSISTENCY = "scope"
+    API_CALLS = (
+        "spmd_init", "spmd_exit", "spmd_proc_id", "spmd_num_procs",
+        "spmd_node_id", "spmd_num_nodes",
+        "spmd_alloc", "spmd_alloc_array", "spmd_free",
+        "spmd_barrier", "spmd_lock", "spmd_unlock", "spmd_trylock",
+        "spmd_newlock",
+        "spmd_acquire", "spmd_release", "spmd_fence",
+        "spmd_send", "spmd_recv",
+        "spmd_wtime", "spmd_stats", "spmd_reset_stats", "spmd_capabilities",
+    )
+
+    def __init__(self, hamster) -> None:
+        super().__init__(hamster)
+        self._initialized: dict = {}
+
+    # --------------------------------------------------------- init / exit
+    def spmd_init(self) -> int:
+        """Per-task initialization; returns the task's process id."""
+        rank = self._rank()
+        self._initialized[rank] = True
+        return rank
+
+    def spmd_exit(self) -> None:
+        """Terminate the task's participation (final barrier + flush)."""
+        self.hamster.consistency.fence()
+        self.hamster.sync.barrier()
+        self._initialized.pop(self._rank(), None)
+
+    # -------------------------------------------------------------- identity
+    def spmd_proc_id(self) -> int:
+        return self.hamster.task.my_rank()
+
+    def spmd_num_procs(self) -> int:
+        return self.hamster.task.n_tasks()
+
+    def spmd_node_id(self) -> int:
+        return self.hamster.cluster_ctl.my_node()
+
+    def spmd_num_nodes(self) -> int:
+        return self.hamster.cluster_ctl.n_nodes()
+
+    # ---------------------------------------------------------------- memory
+    def spmd_alloc(self, nbytes: int, name: str = "",
+                   distribution: Optional[Distribution] = None):
+        """Collective global allocation with optional distribution
+        annotation (all tasks call together, implicit barrier)."""
+        return self.hamster.memory.alloc_collective(
+            nbytes, name=name, distribution=distribution)
+
+    def spmd_alloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
+                         name: str = "",
+                         distribution: Optional[Distribution] = None):
+        """Collective typed-array allocation."""
+        return self.hamster.memory.alloc_array_collective(
+            shape, dtype=dtype, name=name, distribution=distribution)
+
+    def spmd_free(self, target) -> None:
+        self.hamster.memory.free(target)
+
+    # ------------------------------------------------------- synchronization
+    def spmd_barrier(self) -> None:
+        self.hamster.sync.barrier()
+
+    def spmd_lock(self, lock_id: int) -> None:
+        self.hamster.sync.lock(lock_id)
+
+    def spmd_unlock(self, lock_id: int) -> None:
+        self.hamster.sync.unlock(lock_id)
+
+    def spmd_trylock(self, lock_id: int) -> bool:
+        return self.hamster.sync.try_lock(lock_id)
+
+    def spmd_newlock(self) -> int:
+        return self.hamster.sync.new_lock()
+
+    # ------------------------------------------------------------ consistency
+    def spmd_acquire(self, scope: int) -> None:
+        self.hamster.consistency.acquire(scope)
+
+    def spmd_release(self, scope: int) -> None:
+        self.hamster.consistency.release(scope)
+
+    def spmd_fence(self) -> None:
+        self.hamster.consistency.fence()
+
+    # -------------------------------------------------------------- messaging
+    def spmd_send(self, dst: int, payload: Any, size: int = 64) -> None:
+        """External message to another task (the unified channel of §3.3)."""
+        self.hamster.cluster_ctl.send_msg(dst, payload, size=size)
+
+    def spmd_recv(self) -> Any:
+        return self.hamster.cluster_ctl.recv_msg()
+
+    # ----------------------------------------------------- timing / monitoring
+    def spmd_wtime(self) -> float:
+        return self.hamster.timing.wtime()
+
+    def spmd_stats(self, rank: Optional[int] = None) -> dict:
+        """Combined module + DSM statistics for one task (§4.3)."""
+        stats = dict(self.hamster.memory.access_stats(rank))
+        stats["sync"] = self.hamster.sync.stats.query()
+        return stats
+
+    def spmd_reset_stats(self) -> None:
+        self.hamster.reset_statistics()
+
+    def spmd_capabilities(self) -> frozenset:
+        return self.hamster.memory.capabilities()

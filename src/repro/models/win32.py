@@ -1,0 +1,461 @@
+"""Win32 threads API (Table 2, row 8).
+
+The heaviest model of the paper's set (23.5 lines/call): Win32's handle-
+centric object model means almost every routine manipulates a polymorphic
+HANDLE (threads, mutexes, semaphores, events all flow through
+WaitForSingleObject/CloseHandle), and the distributed setting again needs
+the command-forwarding mechanism for cross-node thread control.
+
+Semantics follow the Win32 originals: manual- vs auto-reset events,
+WaitForMultipleObjects with wait-all/wait-any, INFINITE timeouts, DWORD
+return codes (WAIT_OBJECT_0, WAIT_TIMEOUT, WAIT_FAILED).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.models.base import ProgrammingModel
+from repro.models.forwarding import ForwardingService
+
+__all__ = ["Win32ThreadsApi"]
+
+INFINITE = float("inf")
+WAIT_OBJECT_0 = 0
+WAIT_TIMEOUT = 0x102
+WAIT_FAILED = 0xFFFFFFFF
+STILL_ACTIVE = 259
+
+
+@dataclass
+class _Handle:
+    """A Win32 HANDLE: typed kernel object reference."""
+
+    hid: int
+    kind: str                       # thread | mutex | semaphore | event | critsec
+    state: Dict[str, Any] = field(default_factory=dict)
+    closed: bool = False
+
+
+class Win32ThreadsApi(ProgrammingModel):
+    """Win32 thread/synchronization API over HAMSTER services."""
+
+    MODEL_NAME = "WIN32 threads"
+    CONSISTENCY = "release"
+    API_CALLS = (
+        "CreateThread", "ExitThread", "TerminateThread",
+        "GetCurrentThread", "GetCurrentThreadId", "GetExitCodeThread",
+        "SuspendThread", "ResumeThread", "SwitchToThread", "Sleep",
+        "GetThreadPriority", "SetThreadPriority",
+        "WaitForSingleObject", "WaitForMultipleObjects", "CloseHandle",
+        "CreateMutex", "ReleaseMutex",
+        "CreateSemaphore", "ReleaseSemaphore",
+        "CreateEvent", "SetEvent", "ResetEvent", "PulseEvent",
+        "InitializeCriticalSection", "DeleteCriticalSection",
+        "EnterCriticalSection", "LeaveCriticalSection",
+        "TryEnterCriticalSection",
+        "InterlockedIncrement", "InterlockedDecrement",
+        "InterlockedExchange", "InterlockedCompareExchange",
+        "InterlockedExchangeAdd",
+        "TlsAlloc", "TlsFree", "TlsSetValue", "TlsGetValue",
+        "GetCurrentProcessorNumber", "GetSystemInfo",
+        "CreateRemoteThread", "QueueUserAPC", "GetLastError",
+    )
+
+    def __init__(self, hamster) -> None:
+        super().__init__(hamster)
+        self.fwd = ForwardingService(hamster, channel_name="win32.fwd")
+        self.fwd.register("create", self._do_create)
+        self.fwd.register("wait_thread", self._do_wait_thread)
+        self._hids = itertools.count(0x100)
+        self._handles: Dict[int, _Handle] = {}
+        self._proc_tid: Dict[int, int] = {}
+        self._next_rank = itertools.count(1)
+        self._tls_keys = itertools.count(1)
+        self._tls: Dict[int, Dict[int, Any]] = {}
+        # Eager creation: see pthreads._once_lock.
+        self._interlock: int = hamster.sync.new_lock()
+        self._last_error = 0
+
+    # -------------------------------------------------------------- startup
+    def run(self, main: Callable, args: tuple = ()) -> Any:
+        def entry(env):
+            if env.rank != 0:
+                return None
+            h = self._new_handle("thread", rank=0, finished=False, code=STILL_ACTIVE)
+            self._proc_tid[env.proc.pid] = h.hid
+            result = main(self, *args)
+            h.state["finished"] = True
+            h.state["code"] = 0
+            return result
+        return self.hamster.run_spmd(entry)[0]
+
+    def _new_handle(self, kind: str, **state: Any) -> _Handle:
+        h = _Handle(next(self._hids), kind, state)
+        self._handles[h.hid] = h
+        return h
+
+    def _get(self, handle, kind: Optional[str] = None) -> _Handle:
+        h = handle if isinstance(handle, _Handle) else self._handles.get(handle)
+        if h is None or h.closed:
+            raise ModelError(f"invalid or closed HANDLE {handle!r}")
+        if kind is not None and h.kind != kind:
+            raise ModelError(f"HANDLE {h.hid:#x} is a {h.kind}, expected {kind}")
+        return h
+
+    # --------------------------------------------------------------- threads
+    def CreateThread(self, start_routine: Callable, parameter: Any = None,
+                     rank: Optional[int] = None) -> _Handle:
+        """Create a thread (optionally pinned to a rank); returns its HANDLE."""
+        target = rank if rank is not None else next(self._next_rank) % self._nranks()
+        h = self._new_handle("thread", rank=target, finished=False,
+                             code=STILL_ACTIVE, suspended=False, priority=0)
+        self.fwd.invoke(target, "create", h.hid, target, start_routine, parameter)
+        return h
+
+    def CreateRemoteThread(self, rank: int, start_routine: Callable,
+                           parameter: Any = None) -> _Handle:
+        """Explicitly-placed creation (the Win32 cross-process analogue)."""
+        return self.CreateThread(start_routine, parameter, rank=rank)
+
+    def _do_create(self, hid: int, rank: int, start_routine: Callable,
+                   parameter: Any) -> int:
+        h = self._handles[hid]
+
+        def body() -> Any:
+            proc = self.hamster.engine.require_process()
+            self._proc_tid[proc.pid] = hid
+            try:
+                code = start_routine(parameter)
+            except _Win32Exit as stop:
+                code = stop.code
+            finally:
+                self._proc_tid.pop(proc.pid, None)
+            h.state["finished"] = True
+            h.state["code"] = code if code is not None else 0
+            return code
+
+        h.state["task"] = self.hamster.task.spawn_local(rank, body,
+                                                        name=f"win32.{hid:#x}")
+        return hid
+
+    def ExitThread(self, exit_code: int = 0) -> None:
+        raise _Win32Exit(exit_code)
+
+    def TerminateThread(self, handle, exit_code: int = 1) -> bool:
+        """Cooperative approximation: marks the thread terminated; the
+        paper-era caveat (dangerous, avoid) applies here too."""
+        h = self._get(handle, "thread")
+        h.state["finished"] = True
+        h.state["code"] = exit_code
+        return True
+
+    def GetCurrentThread(self) -> Optional[_Handle]:
+        proc = self.hamster.engine.require_process()
+        hid = self._proc_tid.get(proc.pid)
+        return None if hid is None else self._handles.get(hid)
+
+    def GetCurrentThreadId(self) -> int:
+        proc = self.hamster.engine.require_process()
+        return self._proc_tid.get(proc.pid, 0)
+
+    def GetExitCodeThread(self, handle) -> int:
+        h = self._get(handle, "thread")
+        return h.state["code"] if h.state["finished"] else STILL_ACTIVE
+
+    def SuspendThread(self, handle) -> int:
+        h = self._get(handle, "thread")
+        h.state["suspended"] = True
+        return 0
+
+    def ResumeThread(self, handle) -> int:
+        h = self._get(handle, "thread")
+        was = h.state.get("suspended", False)
+        h.state["suspended"] = False
+        return 1 if was else 0
+
+    def SwitchToThread(self) -> bool:
+        self.hamster.engine.require_process().hold(1e-6)
+        return True
+
+    def Sleep(self, milliseconds: float) -> None:
+        self.hamster.engine.require_process().hold(milliseconds / 1e3)
+
+    def GetThreadPriority(self, handle) -> int:
+        return self._get(handle, "thread").state.get("priority", 0)
+
+    def SetThreadPriority(self, handle, priority: int) -> bool:
+        self._get(handle, "thread").state["priority"] = priority
+        return True
+
+    # ----------------------------------------------------------------- waits
+    def WaitForSingleObject(self, handle, timeout: float = INFINITE) -> int:
+        """Wait on any waitable HANDLE (thread/mutex/semaphore/event)."""
+        h = self._get(handle)
+        if h.kind == "thread":
+            if not h.state["finished"]:
+                if timeout != INFINITE:
+                    # Bounded thread wait: poll until deadline.
+                    deadline = self.hamster.engine.now + timeout / 1e3
+                    proc = self.hamster.engine.require_process()
+                    while not h.state["finished"]:
+                        if self.hamster.engine.now >= deadline:
+                            return WAIT_TIMEOUT
+                        proc.hold(50e-6)
+                    return WAIT_OBJECT_0
+                self.fwd.invoke(h.state["rank"], "wait_thread", h.hid)
+            return WAIT_OBJECT_0
+        if h.kind == "mutex":
+            if timeout == INFINITE:
+                self.hamster.sync.lock(h.state["lock"])
+                return WAIT_OBJECT_0
+            return (WAIT_OBJECT_0 if self.hamster.sync.try_lock(h.state["lock"])
+                    else WAIT_TIMEOUT)
+        if h.kind == "semaphore":
+            return self._sem_wait(h, timeout)
+        if h.kind == "event":
+            return self._event_wait(h, timeout)
+        return WAIT_FAILED
+
+    def _do_wait_thread(self, hid: int) -> int:
+        h = self._handles[hid]
+        task = h.state.get("task")
+        if task is not None:
+            self.hamster.task.join(task)
+        return 0
+
+    def WaitForMultipleObjects(self, handles: List[Any], wait_all: bool = True,
+                               timeout: float = INFINITE) -> int:
+        """Wait-all joins every handle; wait-any polls for the first
+        signaled one and returns WAIT_OBJECT_0 + its index."""
+        if wait_all:
+            for h in handles:
+                code = self.WaitForSingleObject(h, timeout)
+                if code != WAIT_OBJECT_0:
+                    return code
+            return WAIT_OBJECT_0
+        deadline = (None if timeout == INFINITE
+                    else self.hamster.engine.now + timeout / 1e3)
+        proc = self.hamster.engine.require_process()
+        while True:
+            for i, h in enumerate(handles):
+                if self.WaitForSingleObject(h, 0) == WAIT_OBJECT_0:
+                    return WAIT_OBJECT_0 + i
+            if deadline is not None and self.hamster.engine.now >= deadline:
+                return WAIT_TIMEOUT
+            proc.hold(50e-6)
+
+    def CloseHandle(self, handle) -> bool:
+        h = self._get(handle)
+        h.closed = True
+        return True
+
+    # ---------------------------------------------------------------- mutexes
+    def CreateMutex(self, initial_owner: bool = False) -> _Handle:
+        h = self._new_handle("mutex", lock=self.hamster.sync.new_lock())
+        if initial_owner:
+            self.hamster.sync.lock(h.state["lock"])
+        return h
+
+    def ReleaseMutex(self, handle) -> bool:
+        h = self._get(handle, "mutex")
+        self.hamster.sync.unlock(h.state["lock"])
+        return True
+
+    # -------------------------------------------------------------- semaphores
+    def CreateSemaphore(self, initial: int, maximum: int) -> _Handle:
+        if initial < 0 or maximum < 1 or initial > maximum:
+            raise ModelError("CreateSemaphore: invalid counts")
+        return self._new_handle("semaphore",
+                                sem=self.hamster.sync.new_semaphore(initial),
+                                maximum=maximum)
+
+    def ReleaseSemaphore(self, handle, count: int = 1) -> bool:
+        h = self._get(handle, "semaphore")
+        sem = h.state["sem"]
+        if sem.value + count > h.state["maximum"]:
+            self._last_error = 0x12A  # ERROR_TOO_MANY_POSTS
+            return False
+        sem.release(count)
+        return True
+
+    def _sem_wait(self, h: _Handle, timeout: float) -> int:
+        sem = h.state["sem"]
+        if timeout == INFINITE:
+            sem.acquire()
+            return WAIT_OBJECT_0
+        deadline = self.hamster.engine.now + timeout / 1e3
+        proc = self.hamster.engine.require_process()
+        while True:
+            if sem.value > 0:
+                sem.acquire()
+                return WAIT_OBJECT_0
+            if self.hamster.engine.now >= deadline:
+                return WAIT_TIMEOUT
+            proc.hold(50e-6)
+
+    # ------------------------------------------------------------------ events
+    def CreateEvent(self, manual_reset: bool = False,
+                    initial_state: bool = False) -> _Handle:
+        lock = self.hamster.sync.new_lock()
+        return self._new_handle("event", manual=manual_reset,
+                                signaled=initial_state, lock=lock,
+                                cond=self.hamster.sync.new_condition(lock))
+
+    def SetEvent(self, handle) -> bool:
+        h = self._get(handle, "event")
+        self.hamster.sync.lock(h.state["lock"])
+        h.state["signaled"] = True
+        if h.state["manual"]:
+            h.state["cond"].broadcast()
+        else:
+            h.state["cond"].signal()
+        self.hamster.sync.unlock(h.state["lock"])
+        return True
+
+    def ResetEvent(self, handle) -> bool:
+        h = self._get(handle, "event")
+        h.state["signaled"] = False
+        return True
+
+    def PulseEvent(self, handle) -> bool:
+        h = self._get(handle, "event")
+        self.hamster.sync.lock(h.state["lock"])
+        if h.state["manual"]:
+            h.state["cond"].broadcast()
+        else:
+            h.state["cond"].signal()
+        h.state["signaled"] = False
+        self.hamster.sync.unlock(h.state["lock"])
+        return True
+
+    def _event_wait(self, h: _Handle, timeout: float) -> int:
+        self.hamster.sync.lock(h.state["lock"])
+        try:
+            if h.state["signaled"]:
+                if not h.state["manual"]:
+                    h.state["signaled"] = False
+                return WAIT_OBJECT_0
+            if timeout == 0:
+                return WAIT_TIMEOUT
+            ok = h.state["cond"].wait(None if timeout == INFINITE else timeout / 1e3)
+            if not ok:
+                return WAIT_TIMEOUT
+            if not h.state["manual"]:
+                h.state["signaled"] = False
+            return WAIT_OBJECT_0
+        finally:
+            self.hamster.sync.unlock(h.state["lock"])
+
+    # -------------------------------------------------------- critical sections
+    def InitializeCriticalSection(self) -> _Handle:
+        return self._new_handle("critsec", lock=self.hamster.sync.new_lock())
+
+    def DeleteCriticalSection(self, handle) -> None:
+        self._get(handle, "critsec").closed = True
+
+    def EnterCriticalSection(self, handle) -> None:
+        self.hamster.sync.lock(self._get(handle, "critsec").state["lock"])
+
+    def LeaveCriticalSection(self, handle) -> None:
+        self.hamster.sync.unlock(self._get(handle, "critsec").state["lock"])
+
+    def TryEnterCriticalSection(self, handle) -> bool:
+        return self.hamster.sync.try_lock(self._get(handle, "critsec").state["lock"])
+
+    # ---------------------------------------------------------------- atomics
+    def _interlocked(self, fn: Callable[[], Any]) -> Any:
+        self.hamster.sync.lock(self._interlock)
+        try:
+            return fn()
+        finally:
+            self.hamster.sync.unlock(self._interlock)
+
+    def InterlockedIncrement(self, arr, index: Any = 0) -> int:
+        def op() -> int:
+            value = int(arr[index]) + 1
+            arr[index] = value
+            self.hamster.consistency.fence()
+            return value
+        return self._interlocked(op)
+
+    def InterlockedDecrement(self, arr, index: Any = 0) -> int:
+        def op() -> int:
+            value = int(arr[index]) - 1
+            arr[index] = value
+            self.hamster.consistency.fence()
+            return value
+        return self._interlocked(op)
+
+    def InterlockedExchange(self, arr, value: int, index: Any = 0) -> int:
+        def op() -> int:
+            old = int(arr[index])
+            arr[index] = value
+            self.hamster.consistency.fence()
+            return old
+        return self._interlocked(op)
+
+    def InterlockedCompareExchange(self, arr, value: int, comparand: int,
+                                   index: Any = 0) -> int:
+        def op() -> int:
+            old = int(arr[index])
+            if old == comparand:
+                arr[index] = value
+                self.hamster.consistency.fence()
+            return old
+        return self._interlocked(op)
+
+    def InterlockedExchangeAdd(self, arr, delta: int, index: Any = 0) -> int:
+        def op() -> int:
+            old = int(arr[index])
+            arr[index] = old + delta
+            self.hamster.consistency.fence()
+            return old
+        return self._interlocked(op)
+
+    # -------------------------------------------------------------------- TLS
+    def TlsAlloc(self) -> int:
+        key = next(self._tls_keys)
+        self._tls[key] = {}
+        return key
+
+    def TlsFree(self, key: int) -> bool:
+        return self._tls.pop(key, None) is not None
+
+    def TlsSetValue(self, key: int, value: Any) -> bool:
+        if key not in self._tls:
+            return False
+        self._tls[key][self.GetCurrentThreadId()] = value
+        return True
+
+    def TlsGetValue(self, key: int) -> Any:
+        return self._tls.get(key, {}).get(self.GetCurrentThreadId())
+
+    # ------------------------------------------------------------------- misc
+    def GetCurrentProcessorNumber(self) -> int:
+        return self.hamster.cluster_ctl.my_node()
+
+    def GetSystemInfo(self) -> dict:
+        return {"dwNumberOfProcessors": self._nranks(),
+                "dwPageSize": self.hamster.params.page_size,
+                "dwNumberOfNodes": self.hamster.cluster_ctl.n_nodes()}
+
+    def QueueUserAPC(self, fn: Callable, handle, arg: Any = None) -> bool:
+        """Asynchronous procedure call: runs ``fn(arg)`` on the target
+        thread's rank (forwarded fire-and-forget via a transient task)."""
+        h = self._get(handle, "thread")
+        self.hamster.task.spawn_local(h.state["rank"], lambda: fn(arg),
+                                      name="win32.apc")
+        return True
+
+    def GetLastError(self) -> int:
+        return self._last_error
+
+
+class _Win32Exit(Exception):
+    def __init__(self, code: int) -> None:
+        super().__init__("ExitThread")
+        self.code = code

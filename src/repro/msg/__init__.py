@@ -1,0 +1,17 @@
+"""Unified messaging layer (active messages).
+
+All internal communication in the framework — DSM protocol traffic, lock and
+barrier management, thread-API command forwarding, and user-level external
+messaging — flows through :class:`~repro.msg.active_messages.ActiveMessageLayer`.
+
+The paper's §3.3 integration insight is modelled by
+:mod:`repro.msg.coalesce`: HAMSTER merges the DSM's private messaging stack
+and its own into one channel, paying the per-message software overhead once;
+a *native* DSM deployment runs its own separate stack with higher
+per-message cost.
+"""
+
+from repro.msg.active_messages import ActiveMessageLayer, Handler
+from repro.msg.coalesce import MessagingFabric
+
+__all__ = ["ActiveMessageLayer", "Handler", "MessagingFabric"]

@@ -1,0 +1,191 @@
+"""Active-message layer over a simulated interconnect.
+
+Each node runs a daemon *message server* process. Incoming messages are
+dispatched to handlers registered by kind; handlers execute in the server's
+process context, so they can charge CPU time, touch memory, send further
+messages, and defer replies — exactly like the communication thread /
+SIGIO handler of a real SW-DSM system.
+
+Two interaction styles:
+
+* :meth:`ActiveMessageLayer.post` — one-way active message.
+* :meth:`ActiveMessageLayer.rpc` — request/reply; the caller blocks in
+  virtual time until the remote handler answers. Handlers answer either by
+  returning a :class:`Reply` immediately or by stashing the message and
+  calling :meth:`ActiveMessageLayer.reply` later (deferred grant — how the
+  distributed lock manager queues contended requests).
+
+Per-message *software stack* cost is a constructor parameter: the coalesced
+HAMSTER channel is cheaper per message than a stand-alone DSM stack
+(§3.3 / :mod:`repro.msg.coalesce`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import MessagingError
+from repro.machine.interconnect import Message, Network
+from repro.sim.process import SimProcess
+from repro.sim.resources import SimQueue
+
+__all__ = ["Reply", "Handler", "ActiveMessageLayer"]
+
+#: Fixed size of the active-message header on the wire.
+AM_HEADER_BYTES = 32
+
+
+@dataclass
+class Reply:
+    """Immediate reply from a handler: payload + wire size."""
+
+    payload: Any = None
+    size: int = 0
+
+
+#: Handler signature: ``handler(msg) -> Optional[Reply]``. Returning ``None``
+#: for an RPC message defers the reply (handler must call ``reply()`` later).
+Handler = Callable[[Message], Optional[Reply]]
+
+
+class _PendingCall:
+    """Sender-side state of one in-flight RPC."""
+
+    __slots__ = ("caller", "result", "done")
+
+    def __init__(self, caller: SimProcess) -> None:
+        self.caller = caller
+        self.result: Any = None
+        self.done = False
+
+
+class ActiveMessageLayer:
+    """One messaging endpoint set spanning all nodes of a cluster."""
+
+    def __init__(self, cluster, network: Optional[Network] = None,
+                 stack_overhead: Optional[float] = None,
+                 name: str = "am") -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.network = network if network is not None else cluster.network
+        if self.network is None:
+            raise MessagingError("active messages need a network (SMP has none)")
+        self.name = name
+        self.stack_overhead = (stack_overhead if stack_overhead is not None
+                               else cluster.params.msg_stack_overhead())
+        self._handlers: Dict[int, Dict[str, Handler]] = {
+            n: {} for n in range(cluster.n_nodes)}
+        self._queues: Dict[int, SimQueue] = {}
+        self._servers: Dict[int, SimProcess] = {}
+        self._tokens = itertools.count(1)
+        self._pending: Dict[int, _PendingCall] = {}
+        # kind-prefix -> per-message stack overhead; lets a "separate stack"
+        # channel (native DSM deployment) coexist with the cheaper coalesced
+        # HAMSTER channel on the same wire (see repro.msg.coalesce).
+        self._channel_overhead: Dict[str, float] = {}
+        # ---------------------------------------------------- statistics
+        self.posts = 0
+        self.rpcs = 0
+        for node_id in range(cluster.n_nodes):
+            self._start_server(node_id)
+
+    # ------------------------------------------------------------- servers
+    def _start_server(self, node_id: int) -> None:
+        q = SimQueue(self.engine, name=f"{self.name}.q{node_id}")
+        self._queues[node_id] = q
+        self.network.register_delivery(node_id, q.put)
+        proc = SimProcess(self.engine, self._server_loop, args=(node_id, q),
+                          name=f"{self.name}.srv{node_id}", daemon=True)
+        proc.start()
+        self._servers[node_id] = proc
+
+    def _server_loop(self, proc: SimProcess, node_id: int, q: SimQueue) -> None:
+        node = self.cluster.node(node_id)
+        while True:
+            msg = q.get()
+            # Receiver-side software cost: NIC/stack + AM dispatch.
+            node.cpu_time(self.network.receiver_cpu_overhead()
+                          + self._overhead_for(msg.kind))
+            if msg.is_reply:
+                self._complete_rpc(msg)
+                continue
+            handler = self._handlers[node_id].get(msg.kind)
+            if handler is None:
+                raise MessagingError(
+                    f"node {node_id}: no handler for message kind {msg.kind!r}")
+            result = handler(msg)
+            if result is not None and msg.rpc_token is not None:
+                self.reply(msg, result.payload, result.size)
+
+    def _complete_rpc(self, msg: Message) -> None:
+        call = self._pending.pop(msg.rpc_token, None)
+        if call is None:
+            raise MessagingError(f"reply for unknown rpc token {msg.rpc_token}")
+        call.result = msg.payload
+        call.done = True
+        call.caller.wake()
+
+    # ------------------------------------------------------------ reg / send
+    def register(self, node_id: int, kind: str, handler: Handler) -> None:
+        """Install ``handler`` for messages of ``kind`` arriving at ``node_id``."""
+        self._handlers[node_id][kind] = handler
+
+    def register_all(self, kind: str, handler_factory: Callable[[int], Handler]) -> None:
+        """Install ``handler_factory(node_id)`` as the handler on every node."""
+        for node_id in range(self.cluster.n_nodes):
+            self.register(node_id, kind, handler_factory(node_id))
+
+    def set_channel_overhead(self, kind_prefix: str, overhead: float) -> None:
+        """Assign a per-message software overhead to all message kinds that
+        start with ``kind_prefix`` (longest prefix wins)."""
+        self._channel_overhead[kind_prefix] = overhead
+
+    def _overhead_for(self, kind: str) -> float:
+        best: Optional[str] = None
+        for prefix in self._channel_overhead:
+            if kind.startswith(prefix) and (best is None or len(prefix) > len(best)):
+                best = prefix
+        if best is None:
+            return self.stack_overhead
+        return self._channel_overhead[best]
+
+    def _charge_send(self, src: int, kind: str) -> None:
+        self.cluster.node(src).cpu_time(
+            self.network.sender_cpu_overhead() + self._overhead_for(kind))
+
+    def post(self, src: int, dst: int, kind: str, payload: Any = None,
+             size: int = 0) -> None:
+        """One-way active message from ``src`` to ``dst``."""
+        self.posts += 1
+        self._charge_send(src, kind)
+        self.network.send(Message(src=src, dst=dst, kind=kind,
+                                  size=size + AM_HEADER_BYTES, payload=payload))
+
+    def rpc(self, src: int, dst: int, kind: str, payload: Any = None,
+            size: int = 0) -> Any:
+        """Request/reply; blocks the calling process until the handler at
+        ``dst`` answers. Returns the reply payload."""
+        caller = self.engine.require_process()
+        token = next(self._tokens)
+        call = _PendingCall(caller)
+        self._pending[token] = call
+        self.rpcs += 1
+        self._charge_send(src, kind)
+        self.network.send(Message(src=src, dst=dst, kind=kind,
+                                  size=size + AM_HEADER_BYTES, payload=payload,
+                                  rpc_token=token))
+        while not call.done:
+            caller.suspend()
+        return call.result
+
+    def reply(self, request: Message, payload: Any = None, size: int = 0) -> None:
+        """Answer an RPC ``request`` (immediately from its handler, or later
+        from any process on the handling node — deferred grant)."""
+        if request.rpc_token is None:
+            raise MessagingError("reply() to a message that is not an rpc")
+        self._charge_send(request.dst, request.kind)
+        self.network.send(Message(src=request.dst, dst=request.src, kind="__reply__",
+                                  size=size + AM_HEADER_BYTES, payload=payload,
+                                  rpc_token=request.rpc_token, is_reply=True))

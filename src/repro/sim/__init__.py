@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which the whole reproduction runs: it
+replaces the paper's physical four-node cluster with a virtual-time machine.
+Simulated processes are backed by real Python threads, but the engine runs
+exactly one at a time and hands control off at deterministic points, so every
+simulation is exactly reproducible.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` — event queue + virtual clock.
+* :class:`~repro.sim.process.SimProcess` — a simulated thread of control.
+* :mod:`~repro.sim.resources` — locks, semaphores, queues, barriers that
+  block in *virtual* time.
+* :mod:`~repro.sim.trace` — structured event tracing.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.sim.resources import SimBarrier, SimCondition, SimLock, SimQueue, SimSemaphore
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Engine",
+    "SimProcess",
+    "SimLock",
+    "SimSemaphore",
+    "SimCondition",
+    "SimQueue",
+    "SimBarrier",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,140 @@
+"""Virtual-time event engine.
+
+The engine owns a priority queue of ``(time, seq, action)`` events and a
+virtual clock. Time is a float in **seconds** of simulated wall-clock time.
+Ties are broken by a monotonically increasing sequence number, which makes
+every run deterministic regardless of Python hash seeds or OS scheduling.
+
+Simulated processes (see :mod:`repro.sim.process`) are driven by the engine:
+when a process blocks (``hold``, lock wait, message wait) it parks its
+backing thread and returns control here; the engine then pops the next event.
+Only one process thread ever runs at a time, so no user-visible locking is
+needed anywhere in the framework.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.trace import Tracer
+
+
+class Engine:
+    """Discrete-event engine with a virtual clock.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.sim.trace.Tracer` capturing structured events
+        for debugging and for the monitoring tests.
+    """
+
+    def __init__(self, trace: Optional[Tracer] = None) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._processes: list = []  # all SimProcess instances ever started
+        self._current = None  # the SimProcess whose thread is running, if any
+        self._running = False
+        self._finished = False
+        # Note: Tracer has __len__, so an empty tracer is falsy — test
+        # identity, not truthiness.
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        self.trace.bind_clock(lambda: self._now)
+        # Exception raised inside a process thread, re-raised from run().
+        self._pending_exc: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action()`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current instant (FIFO within a
+        timestamp).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, action))
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> None:
+        """Schedule ``action()`` at absolute virtual time ``when``."""
+        self.schedule(when - self._now, action)
+
+    # -------------------------------------------------------------- processes
+    def register(self, process) -> None:
+        self._processes.append(process)
+
+    @property
+    def current_process(self):
+        """The simulated process currently executing, or ``None`` when the
+        engine itself (an event callback) is running."""
+        return self._current
+
+    def require_process(self):
+        """Return the current process; raise if called from engine context.
+
+        Framework code that charges time or blocks must run inside a
+        simulated process — this guard turns silent misuse into a clear
+        error.
+        """
+        if self._current is None:
+            raise SimulationError("operation requires a simulated process context")
+        return self._current
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains (or virtual ``until`` passes).
+
+        Returns the final virtual time. Raises :class:`DeadlockError` if the
+        queue drains while started processes are still alive and blocked —
+        the simulated analogue of a hung cluster.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (no nested run())")
+        self._running = True
+        try:
+            while self._queue:
+                when, _seq, action = heapq.heappop(self._queue)
+                if until is not None and when > until:
+                    # Push back and stop: caller asked for a bounded run.
+                    heapq.heappush(self._queue, (when, _seq, action))
+                    self._now = until
+                    return self._now
+                self._now = when
+                action()
+                if self._pending_exc is not None:
+                    exc, self._pending_exc = self._pending_exc, None
+                    raise exc
+            blocked = [p for p in self._processes if p.alive and not p.daemon]
+            if blocked:
+                raise DeadlockError(blocked)
+            self._finished = True
+            return self._now
+        finally:
+            self._running = False
+
+    def run_process(self, fn, *args, name: str = "proc", **kwargs):
+        """Convenience: wrap ``fn`` in a process, run to completion, return
+        its result. Used heavily by tests."""
+        from repro.sim.process import SimProcess
+
+        proc = SimProcess(self, fn, args=args, kwargs=kwargs, name=name)
+        proc.start()
+        self.run()
+        return proc.result
+
+    # ----------------------------------------------------------------- hooks
+    def _set_current(self, process) -> None:
+        self._current = process
+
+    def _report_exception(self, exc: BaseException) -> None:
+        """Called from a process thread context when user code raised."""
+        self._pending_exc = exc

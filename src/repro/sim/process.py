@@ -1,0 +1,157 @@
+"""Thread-backed simulated processes.
+
+Each :class:`SimProcess` owns a real Python thread, but the engine enforces
+strict hand-off: exactly one of {engine, some process thread} runs at any
+instant, synchronized by per-object :class:`threading.Event` pairs. This
+gives the framework the ergonomics of blocking code — middleware can call
+``hold()`` or wait on a lock arbitrarily deep in its call stack, with no
+generator/yield plumbing — while staying fully deterministic: the order of
+execution is decided solely by the virtual-time event queue.
+
+The design mirrors the paper's setting, where each cluster node runs one
+application process; here a "node process" is a ``SimProcess`` whose virtual
+time advances as it computes, touches memory, and exchanges messages.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """A simulated thread of control scheduled in virtual time.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.sim.engine.Engine` that schedules this process.
+    fn:
+        The Python callable executed by the process. It receives this
+        process as its first argument followed by ``args``/``kwargs``.
+    name:
+        Debug name; appears in traces and deadlock reports.
+    """
+
+    _ids = 0
+
+    def __init__(self, engine, fn: Callable, args: tuple = (), kwargs: Optional[dict] = None,
+                 name: str = "proc", daemon: bool = False) -> None:
+        SimProcess._ids += 1
+        self.pid = SimProcess._ids
+        self.engine = engine
+        self.name = name
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs or {}
+        #: daemon processes (message servers) never count as deadlocked and
+        #: do not keep the simulation alive.
+        self.daemon = daemon
+        self._thread: Optional[threading.Thread] = None
+        self._go = threading.Event()        # set -> process thread may run
+        self._yielded = threading.Event()   # set -> process has parked again
+        self.alive = False
+        self.started = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiters: list = []            # processes blocked in join()
+        engine.register(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else ("done" if self.started else "new")
+        return f"<SimProcess {self.name}#{self.pid} {state}>"
+
+    def __str__(self) -> str:
+        return f"{self.name}#{self.pid}"
+
+    # ----------------------------------------------------------------- start
+    def start(self, delay: float = 0.0) -> "SimProcess":
+        """Arrange for the process body to begin ``delay`` seconds from now."""
+        if self.started:
+            raise SimulationError(f"{self} already started")
+        self.started = True
+        self.alive = True
+        self._thread = threading.Thread(target=self._bootstrap, name=str(self), daemon=True)
+        self._thread.start()
+        self.engine.schedule(delay, self._resume)
+        return self
+
+    def _bootstrap(self) -> None:
+        # Park until the engine first resumes us.
+        self._go.wait()
+        self._go.clear()
+        try:
+            self.result = self._fn(self, *self._args, **self._kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagated to engine.run()
+            self.exception = exc
+            self.engine._report_exception(exc)
+        finally:
+            self.alive = False
+            self.engine.trace.emit("proc.exit", proc=str(self))
+            # Wake joiners at the instant of death.
+            for waiter in self._waiters:
+                self.engine.schedule(0.0, waiter._resume)
+            self._waiters.clear()
+            self.engine._set_current(None)
+            self._yielded.set()  # hand control back to the engine
+
+    # -------------------------------------------------------------- handoff
+    def _resume(self) -> None:
+        """Engine-side: run this process's thread until it parks again."""
+        if not self.alive:
+            return
+        self.engine._set_current(self)
+        self._yielded.clear()
+        self._go.set()
+        self._yielded.wait()
+
+    def _park(self) -> None:
+        """Process-side: return control to the engine and wait to be resumed."""
+        self.engine._set_current(None)
+        self._yielded.set()
+        self._go.wait()
+        self._go.clear()
+
+    # ------------------------------------------------------------- blocking
+    def hold(self, duration: float) -> None:
+        """Advance this process's virtual time by ``duration`` seconds.
+
+        This is the fundamental cost-charging primitive: CPU cycles, memory
+        latencies, and protocol overheads all reduce to ``hold`` calls.
+        A zero or negative duration is a no-op (costs can legitimately
+        round to zero).
+        """
+        if duration <= 0:
+            return
+        self.engine.schedule(duration, self._resume)
+        self._park()
+
+    def suspend(self) -> None:
+        """Block indefinitely until another process/event calls :meth:`wake`."""
+        self._park()
+
+    def wake(self, delay: float = 0.0) -> None:
+        """Schedule a suspended process to resume ``delay`` seconds from now."""
+        self.engine.schedule(delay, self._resume)
+
+    def join(self, other: "SimProcess") -> Any:
+        """Block until ``other`` terminates; returns its result.
+
+        Re-raises nothing here — exceptions in ``other`` already abort the
+        whole simulation via the engine.
+        """
+        if other is self:
+            raise SimulationError("a process cannot join itself")
+        if other.alive:
+            other._waiters.append(self)
+            self.suspend()
+        return other.result
+
+    # --------------------------------------------------------------- context
+    @property
+    def now(self) -> float:
+        return self.engine.now

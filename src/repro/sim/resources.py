@@ -1,0 +1,189 @@
+"""Synchronization resources that block in virtual time.
+
+These are the simulation-kernel primitives the framework's *simulated*
+synchronization (HAMSTER locks, barriers, DSM protocol waits) is built on.
+They are strictly FIFO, which keeps runs deterministic and makes fairness
+properties testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.errors import SimulationError, SynchronizationError
+from repro.sim.process import SimProcess
+
+__all__ = ["SimLock", "SimSemaphore", "SimCondition", "SimQueue", "SimBarrier"]
+
+
+class SimLock:
+    """FIFO mutex in virtual time."""
+
+    def __init__(self, engine, name: str = "lock") -> None:
+        self.engine = engine
+        self.name = name
+        self.owner: Optional[SimProcess] = None
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def acquire(self) -> None:
+        proc = self.engine.require_process()
+        if self.owner is None:
+            self.owner = proc
+            return
+        if self.owner is proc:
+            raise SynchronizationError(f"{proc} re-acquired non-recursive {self.name}")
+        self._waiters.append(proc)
+        proc.suspend()
+        # We are resumed by release() after it made us the owner.
+
+    def release(self) -> None:
+        proc = self.engine.require_process()
+        if self.owner is not proc:
+            raise SynchronizationError(
+                f"{proc} released {self.name} owned by {self.owner}")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self.owner = nxt
+            nxt.wake()
+        else:
+            self.owner = None
+
+    def __enter__(self) -> "SimLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class SimSemaphore:
+    """Counting semaphore; FIFO wakeups."""
+
+    def __init__(self, engine, value: int = 0, name: str = "sem") -> None:
+        if value < 0:
+            raise SimulationError("semaphore value must be >= 0")
+        self.engine = engine
+        self.name = name
+        self._value = value
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> None:
+        proc = self.engine.require_process()
+        if self._value > 0:
+            self._value -= 1
+            return
+        self._waiters.append(proc)
+        proc.suspend()
+
+    def release(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self._waiters:
+                self._waiters.popleft().wake()
+            else:
+                self._value += 1
+
+
+class SimCondition:
+    """Condition variable associated with a :class:`SimLock`.
+
+    Semantics follow POSIX: :meth:`wait` atomically releases the lock and
+    blocks; :meth:`signal`/:meth:`broadcast` move waiters to the lock queue.
+    """
+
+    def __init__(self, engine, lock: Optional[SimLock] = None, name: str = "cond") -> None:
+        self.engine = engine
+        self.name = name
+        self.lock = lock if lock is not None else SimLock(engine, name + ".lock")
+        self._waiters: Deque[SimProcess] = deque()
+
+    def wait(self) -> None:
+        proc = self.engine.require_process()
+        if self.lock.owner is not proc:
+            raise SynchronizationError(f"wait on {self.name} without holding its lock")
+        self._waiters.append(proc)
+        self.lock.release()
+        proc.suspend()
+        self.lock.acquire()
+
+    def signal(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().wake()
+
+    def broadcast(self) -> None:
+        while self._waiters:
+            self._waiters.popleft().wake()
+
+
+class SimQueue:
+    """Unbounded FIFO message queue; ``get`` blocks in virtual time.
+
+    The messaging layer delivers into per-node queues through this class, so
+    message arrival order is the deterministic network-delivery order.
+    """
+
+    def __init__(self, engine, name: str = "queue") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimProcess] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        if self._getters:
+            self._getters.popleft().wake()
+
+    def get(self) -> Any:
+        proc = self.engine.require_process()
+        while not self._items:
+            self._getters.append(proc)
+            proc.suspend()
+        return self._items.popleft()
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class SimBarrier:
+    """N-party barrier in virtual time (kernel primitive, not the HAMSTER
+    barrier — the HAMSTER one layers consistency actions and network costs
+    on top of semantics like these)."""
+
+    def __init__(self, engine, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise SimulationError("barrier needs >= 1 party")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._waiting: List[SimProcess] = []
+        self.generation = 0
+
+    def wait(self) -> int:
+        """Block until ``parties`` processes arrive; returns the generation
+        index that completed."""
+        proc = self.engine.require_process()
+        gen = self.generation
+        self._waiting.append(proc)
+        if len(self._waiting) == self.parties:
+            self.generation += 1
+            waiters, self._waiting = self._waiting, []
+            for p in waiters:
+                if p is not proc:
+                    p.wake()
+            return gen
+        proc.suspend()
+        return gen

@@ -1,0 +1,78 @@
+"""Structured event tracing for the simulation kernel.
+
+A :class:`Tracer` collects :class:`TraceEvent` records (kind + timestamp +
+free-form fields). Tracing is off by default — the benchmark harness keeps it
+disabled; protocol tests switch it on to assert on message/fault sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects trace events; supports filtering and live sinks."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self._sinks: List[Callable[[TraceEvent], None]] = []
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the engine's clock so events carry virtual timestamps."""
+        self._clock = clock
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        self._sinks.append(sink)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        ev = TraceEvent(time=self._clock(), kind=kind, fields=fields)
+        self.events.append(ev)
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[0]
+        for sink in self._sinks:
+            sink(ev)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def matching(self, **fields: Any) -> List[TraceEvent]:
+        out = []
+        for e in self.events:
+            if all(e.get(k) == v for k, v in fields.items()):
+                out.append(e)
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

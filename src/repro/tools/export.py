@@ -1,0 +1,105 @@
+"""Machine-readable exports of runs and experiments.
+
+Downstream tooling (plotting scripts, CI dashboards, regression trackers)
+wants the reproduction's outputs as data, not prose. This module serializes
+
+* one benchmark run (an :class:`~repro.apps.common.AppResult` + its
+  platform profile) to a JSON document,
+* a figure's rows to CSV,
+* a full statistics tree to flat ``module.counter`` CSV rows,
+
+all with stable key ordering so diffs between runs are meaningful.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["run_to_json", "figure_to_csv", "stats_to_csv", "write_text"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other exotic leaves to plain JSON types."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(),
+                                                        key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, int):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def run_to_json(result, platform=None, indent: int = 2) -> str:
+    """Serialize one benchmark outcome (and optionally its platform's
+    profile) to JSON."""
+    doc: Dict[str, Any] = {
+        "app": result.app,
+        "verified": bool(result.verified),
+        "checksum": float(result.checksum),
+        "phases_seconds": _jsonable(result.phases),
+        "params": _jsonable(result.extra),
+    }
+    if platform is not None:
+        from repro.tools.profile import profile_platform
+
+        report = profile_platform(platform)
+        doc["platform"] = report.platform
+        doc["total_virtual_seconds"] = report.total_time
+        doc["wire"] = {"messages": report.messages, "bytes": report.wire_bytes}
+        doc["ranks"] = [_jsonable(vars(r)) for r in report.ranks]
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def figure_to_csv(rows: Mapping[str, Any], value_header: str = "value") -> str:
+    """Render figure data (label -> value or label -> {series: value}) as
+    CSV with labels in insertion order."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    items = list(rows.items())
+    if items and isinstance(items[0][1], Mapping):
+        series = list(items[0][1].keys())
+        writer.writerow(["benchmark"] + series)
+        for label, values in items:
+            writer.writerow([label] + [f"{float(values[s]):.4f}" for s in series])
+    else:
+        writer.writerow(["benchmark", value_header])
+        for label, value in items:
+            writer.writerow([label, f"{float(value):.4f}"])
+    return out.getvalue()
+
+
+def stats_to_csv(tree: Mapping[str, Any]) -> str:
+    """Flatten a statistics tree to ``scope,counter,value`` rows."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["scope", "counter", "value"])
+
+    def walk(scope: str, node: Any) -> None:
+        if isinstance(node, Mapping):
+            for key in sorted(node, key=str):
+                walk(f"{scope}.{key}" if scope else str(key), node[key])
+            return
+        try:
+            writer.writerow([scope.rsplit(".", 1)[0], scope.rsplit(".", 1)[1],
+                             f"{float(node):g}"])
+        except (TypeError, ValueError):
+            writer.writerow([scope.rsplit(".", 1)[0], scope.rsplit(".", 1)[1],
+                             str(node)])
+
+    walk("", tree)
+    return out.getvalue()
+
+
+def write_text(path: str, content: str) -> None:
+    """Write an export to disk (tiny helper so the CLI stays declarative)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)

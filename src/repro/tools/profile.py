@@ -1,0 +1,125 @@
+"""Post-run profiling reports over the monitoring surfaces.
+
+Where :mod:`repro.tools.monitor` watches a run live, this module digests a
+*finished* platform into the questions a tuner asks first: where did the
+time go (compute vs bus vs waiting), what did the protocol do per rank
+(faults, fetches, diffs, notices), and how much hit the wire. Works on any
+platform/model combination because it reads only the public statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.report import render_table
+
+__all__ = ["RankProfile", "ProfileReport", "profile_platform"]
+
+
+@dataclass
+class RankProfile:
+    """Digest of one rank's protocol activity."""
+
+    rank: int
+    node: int
+    reads: int = 0
+    writes: int = 0
+    bytes_moved: int = 0
+    faults: int = 0
+    fetches: int = 0
+    diffs: int = 0
+    diff_bytes: int = 0
+    invalidations: int = 0
+    remote_ops: int = 0
+    lock_ops: int = 0
+    barriers: int = 0
+    lock_wait: float = 0.0
+    barrier_wait: float = 0.0
+
+
+@dataclass
+class ProfileReport:
+    """Whole-platform profile."""
+
+    platform: str
+    total_time: float
+    ranks: List[RankProfile] = field(default_factory=list)
+    messages: int = 0
+    wire_bytes: int = 0
+    bus_bytes: Dict[int, int] = field(default_factory=dict)
+    bus_contention: Dict[int, float] = field(default_factory=dict)
+    compute_time: Dict[int, float] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- queries
+    def rank(self, rank: int) -> RankProfile:
+        return self.ranks[rank]
+
+    def total(self, attr: str) -> float:
+        return sum(getattr(r, attr) for r in self.ranks)
+
+    def sync_share(self) -> float:
+        """Fraction of total virtual time the *average rank* spent waiting
+        at locks and barriers."""
+        if self.total_time <= 0 or not self.ranks:
+            return 0.0
+        waits = self.total("lock_wait") + self.total("barrier_wait")
+        return waits / (self.total_time * len(self.ranks))
+
+    def communication_per_rank(self) -> float:
+        return self.wire_bytes / len(self.ranks) if self.ranks else 0.0
+
+    def hotspots(self, top: int = 3) -> List[RankProfile]:
+        """Ranks ranked by protocol work (faults+fetches+diffs)."""
+        return sorted(self.ranks, key=lambda r: -(r.faults + r.fetches + r.diffs))[:top]
+
+    def render(self) -> str:
+        rows = [[r.rank, r.node, r.faults, r.fetches, r.diffs,
+                 r.invalidations, r.remote_ops, r.lock_ops, r.barriers,
+                 round(r.lock_wait * 1e3, 3), round(r.barrier_wait * 1e3, 3)]
+                for r in self.ranks]
+        table = render_table(
+            ["rank", "node", "faults", "fetches", "diffs", "invals",
+             "rmt ops", "locks", "barriers", "lock wait ms", "bar wait ms"],
+            rows, title=f"profile: {self.platform} "
+                        f"({self.total_time * 1e3:.3f} ms virtual)")
+        extra = (f"\nmessages: {self.messages}, wire bytes: {self.wire_bytes}, "
+                 f"sync share: {self.sync_share() * 100:.1f}%")
+        return table + extra
+
+
+def profile_platform(platform) -> ProfileReport:
+    """Digest a finished :class:`~repro.config.BuiltPlatform`."""
+    hamster = platform.hamster
+    dsm = platform.dsm
+    report = ProfileReport(platform=hamster.platform_description(),
+                           total_time=platform.engine.now)
+    for rank in range(dsm.n_procs):
+        stats = dsm.stats(rank)
+        node_id = dsm.node_of(rank)
+        report.ranks.append(RankProfile(
+            rank=rank,
+            node=node_id,
+            reads=int(stats.get("reads", 0)),
+            writes=int(stats.get("writes", 0)),
+            bytes_moved=int(stats.get("bytes_read", 0)) + int(stats.get("bytes_written", 0)),
+            faults=int(stats.get("read_faults", 0)) + int(stats.get("write_faults", 0)),
+            fetches=int(stats.get("pages_fetched", 0)),
+            diffs=int(stats.get("diffs_created", 0)),
+            diff_bytes=int(stats.get("diff_bytes", 0)),
+            invalidations=int(stats.get("pages_invalidated", 0)),
+            remote_ops=int(stats.get("remote_reads", 0)) + int(stats.get("remote_writes", 0)),
+            lock_ops=int(stats.get("lock_acquires", 0)),
+            barriers=int(stats.get("barriers", 0)),
+            lock_wait=float(stats.get("lock_wait_time", 0.0)),
+            barrier_wait=float(stats.get("barrier_wait_time", 0.0)),
+        ))
+    network = platform.cluster.network
+    if network is not None:
+        report.messages = network.messages_sent
+        report.wire_bytes = network.bytes_sent
+    for node in platform.cluster.nodes:
+        report.bus_bytes[node.node_id] = node.bus.bytes_transferred
+        report.bus_contention[node.node_id] = node.bus.contention_time
+        report.compute_time[node.node_id] = node.compute_time
+    return report

@@ -1,0 +1,96 @@
+"""Trace summaries: digest the simulation event trace.
+
+Enable tracing in a configuration (``cfg.trace = True``) and the kernel
+records structured events — network sends, page fetches, invalidations,
+process exits. :func:`summarize_trace` turns that stream into the views a
+protocol developer wants: message histograms by kind, traffic matrices,
+fetch timelines, and per-interval activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bench.report import render_table
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["TraceSummary", "summarize_trace"]
+
+
+@dataclass
+class TraceSummary:
+    """Digest of one simulation's trace."""
+
+    n_events: int = 0
+    duration: float = 0.0
+    #: message kind -> (count, total bytes)
+    messages_by_kind: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: (src, dst) -> message count
+    traffic_matrix: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: page fetch events: (time, rank, page, home)
+    fetches: List[Tuple[float, int, int, int]] = field(default_factory=list)
+    #: invalidation events: (time, rank, pages)
+    invalidations: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    # -------------------------------------------------------------- queries
+    def message_count(self, kind_prefix: str = "") -> int:
+        return sum(count for kind, (count, _) in self.messages_by_kind.items()
+                   if kind.startswith(kind_prefix))
+
+    def busiest_pair(self) -> Tuple[Tuple[int, int], int]:
+        if not self.traffic_matrix:
+            return (0, 0), 0
+        pair = max(self.traffic_matrix, key=self.traffic_matrix.get)
+        return pair, self.traffic_matrix[pair]
+
+    def hottest_pages(self, top: int = 5) -> List[Tuple[int, int]]:
+        """Pages by fetch count (page, count) — the false-sharing/ping-pong
+        detector."""
+        counts: Dict[int, int] = {}
+        for _, _, page, _ in self.fetches:
+            counts[page] = counts.get(page, 0) + 1
+        return sorted(counts.items(), key=lambda kv: -kv[1])[:top]
+
+    def fetch_rate_timeline(self, buckets: int = 10) -> List[int]:
+        """Fetch counts over ``buckets`` equal slices of the run."""
+        out = [0] * buckets
+        if not self.fetches or self.duration <= 0:
+            return out
+        for time, *_ in self.fetches:
+            index = min(buckets - 1, int(time / self.duration * buckets))
+            out[index] += 1
+        return out
+
+    def render(self) -> str:
+        rows = [[kind, count, nbytes]
+                for kind, (count, nbytes) in sorted(self.messages_by_kind.items())]
+        table = render_table(["message kind", "count", "bytes"], rows,
+                             title=f"trace: {self.n_events} events over "
+                                   f"{self.duration * 1e3:.3f} ms")
+        hot = ", ".join(f"page {p} x{c}" for p, c in self.hottest_pages(3))
+        return table + (f"\nfetches: {len(self.fetches)} (hottest: {hot})"
+                        if self.fetches else "")
+
+
+def summarize_trace(trace: Tracer) -> TraceSummary:
+    """Digest a :class:`~repro.sim.trace.Tracer`'s event stream."""
+    summary = TraceSummary(n_events=len(trace))
+    last_time = 0.0
+    for event in trace:
+        last_time = max(last_time, event.time)
+        if event.kind == "net.send":
+            kind = event.get("msg_kind", "?")
+            count, nbytes = summary.messages_by_kind.get(kind, (0, 0))
+            summary.messages_by_kind[kind] = (count + 1,
+                                              nbytes + event.get("size", 0))
+            pair = (event.get("src", -1), event.get("dst", -1))
+            summary.traffic_matrix[pair] = summary.traffic_matrix.get(pair, 0) + 1
+        elif event.kind == "jj.fetch":
+            summary.fetches.append((event.time, event.get("rank", -1),
+                                    event.get("page", -1), event.get("home", -1)))
+        elif event.kind == "jj.invalidate":
+            summary.invalidations.append((event.time, event.get("rank", -1),
+                                          event.get("pages", 0)))
+    summary.duration = last_time
+    return summary

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import preset
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+def run_procs(engine: Engine, *fns, names=None):
+    """Start one process per function (each receives its SimProcess), run
+    the engine to completion, return the results in order."""
+    procs = []
+    for i, fn in enumerate(fns):
+        name = names[i] if names else f"p{i}"
+        procs.append(SimProcess(engine, fn, name=name).start())
+    engine.run()
+    return [p.result for p in procs]
+
+
+def spmd(plat, fn, *args):
+    """Run ``fn(env, *args)`` on every rank of a built platform."""
+    return plat.hamster.run_spmd(lambda env, *a: fn(env, *a), args=args)
+
+
+@pytest.fixture
+def smp2():
+    return preset("smp-2").build()
+
+
+@pytest.fixture
+def swdsm4():
+    return preset("sw-dsm-4").build()
+
+
+@pytest.fixture
+def hybrid4():
+    return preset("hybrid-4").build()

@@ -1,0 +1,106 @@
+"""Unit + property tests for the global address space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory.address_space import GlobalAddressSpace, Region
+
+
+PAGE = 4096
+BASE = GlobalAddressSpace.BASE
+
+
+class TestRegionGeometry:
+    def test_basic_properties(self):
+        r = Region(0, BASE, 3 * PAGE, PAGE, "r")
+        assert r.end == BASE + 3 * PAGE
+        assert r.n_pages == 3
+        assert list(r.pages()) == [BASE // PAGE + i for i in range(3)]
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(MemoryError_):
+            Region(0, BASE + 1, PAGE, PAGE)
+
+    def test_pages_for_spanning_access(self):
+        r = Region(0, BASE, 4 * PAGE, PAGE)
+        pages = r.pages_for(PAGE - 1, 2)  # crosses one boundary
+        assert len(pages) == 2
+
+    def test_pages_for_empty_access(self):
+        r = Region(0, BASE, PAGE, PAGE)
+        assert len(r.pages_for(0, 0)) == 0
+
+    def test_out_of_range_access_rejected(self):
+        r = Region(0, BASE, PAGE, PAGE)
+        with pytest.raises(MemoryError_):
+            r.pages_for(0, PAGE + 1)
+        with pytest.raises(MemoryError_):
+            r.pages_for(-1, 4)
+
+    def test_page_extent_clips_to_region(self):
+        r = Region(0, BASE, PAGE + 100, PAGE)
+        off, length = r.page_extent(r.first_page + 1)
+        assert off == PAGE and length == 100
+
+    def test_page_offset_of_foreign_page_rejected(self):
+        r = Region(0, BASE, PAGE, PAGE)
+        with pytest.raises(MemoryError_):
+            r.page_offset(r.first_page + 5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(offset=st.integers(0, 10 * PAGE - 1),
+           nbytes=st.integers(1, 3 * PAGE))
+    def test_pages_for_matches_bruteforce(self, offset, nbytes):
+        r = Region(0, BASE, 10 * PAGE, PAGE)
+        if offset + nbytes > r.size:
+            nbytes = r.size - offset
+            if nbytes == 0:
+                return
+        expected = sorted({(BASE + b) // PAGE
+                           for b in range(offset, offset + nbytes)})
+        assert list(r.pages_for(offset, nbytes)) == expected
+
+
+class TestAddressSpace:
+    def test_register_and_resolve(self):
+        space = GlobalAddressSpace(PAGE)
+        r = space.add_region(BASE, 2 * PAGE)
+        region, off = space.resolve(BASE + PAGE + 7)
+        assert region is r and off == PAGE + 7
+
+    def test_unmapped_resolve_fails(self):
+        space = GlobalAddressSpace(PAGE)
+        space.add_region(BASE, PAGE)
+        with pytest.raises(MemoryError_):
+            space.resolve(BASE + 5 * PAGE)
+        assert space.region_at(BASE - 1) is None
+
+    def test_overlap_rejected(self):
+        space = GlobalAddressSpace(PAGE)
+        space.add_region(BASE, 2 * PAGE)
+        with pytest.raises(MemoryError_):
+            space.add_region(BASE + PAGE, PAGE)
+        with pytest.raises(MemoryError_):
+            space.add_region(BASE - PAGE, 2 * PAGE)
+
+    def test_drop_region(self):
+        space = GlobalAddressSpace(PAGE)
+        r = space.add_region(BASE, PAGE)
+        space.drop_region(r)
+        assert r.freed
+        assert space.region_at(BASE) is None
+        with pytest.raises(MemoryError_):
+            space.drop_region(r)
+
+    def test_non_power_of_two_page_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            GlobalAddressSpace(3000)
+
+    def test_iteration_sorted_by_address(self):
+        space = GlobalAddressSpace(PAGE)
+        space.add_region(BASE + 4 * PAGE, PAGE, "b")
+        space.add_region(BASE, PAGE, "a")
+        assert [r.name for r in space] == ["a", "b"]
+        assert len(space) == 2

@@ -1,0 +1,59 @@
+"""Tests for the FFT extension benchmark (all-to-all transpose pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.common import merge_rank_results
+from repro.apps.fft import run_fft
+from repro.bench.runners import run_app_on
+from repro.config import ClusterConfig, preset
+from repro.models.jiajia_api import JiaJiaApi
+
+
+@pytest.mark.parametrize("platform", ["smp-2", "sw-dsm-2", "sw-dsm-4",
+                                      "hybrid-2", "hybrid-4"])
+def test_fft_verifies_everywhere(platform):
+    merged = run_app_on(preset(platform), "fft", n1=32, n2=32)
+    assert merged.verified
+
+
+def test_fft_rectangular_factors():
+    merged = run_app_on(preset("hybrid-2"), "fft", n1=16, n2=64)
+    assert merged.verified
+    assert merged.extra == {"n1": 16, "n2": 64}
+
+
+def test_fft_uneven_rank_partition():
+    cfg = ClusterConfig(platform="beowulf", dsm="jiajia", nodes=3,
+                        name="sw-3")
+    assert run_app_on(cfg, "fft", n1=30, n2=32).verified
+
+
+def test_fft_phases_complete():
+    merged = run_app_on(preset("sw-dsm-2"), "fft", n1=32, n2=32)
+    assert set(merged.phases) >= {"init", "fft1", "transpose", "fft2", "total"}
+    body = (merged.phases["fft1"] + merged.phases["transpose"]
+            + merged.phases["fft2"])
+    assert merged.phases["total"] >= body * 0.95
+
+
+def test_transpose_dominates_on_dsm_not_on_smp():
+    """The all-to-all phase is the communication hotspot on clusters but
+    just bus traffic on the SMP."""
+    def transpose_share(platform):
+        merged = run_app_on(preset(platform), "fft", n1=64, n2=64)
+        return merged.phases["transpose"] / merged.phases["total"]
+
+    assert transpose_share("sw-dsm-4") > transpose_share("smp-2")
+
+
+def test_fft_deterministic():
+    a = run_app_on(preset("hybrid-4"), "fft", n1=32, n2=32)
+    b = run_app_on(preset("hybrid-4"), "fft", n1=32, n2=32)
+    assert a.phases == b.phases
+
+
+def test_fft_checksum_platform_independent():
+    values = {run_app_on(preset(p), "fft", n1=32, n2=32).checksum
+              for p in ("smp-2", "sw-dsm-2", "hybrid-2")}
+    assert len(values) == 1

@@ -1,0 +1,130 @@
+"""Benchmark-application tests: correctness on every platform, phase
+instrumentation, and run-to-run determinism."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.apps.common import (APP_TABLE, AppError, AppResult, merge_rank_results,
+                               row_block)
+from repro.bench.runners import run_app_on
+from repro.config import preset
+
+PLATFORMS = ["smp-2", "sw-dsm-4", "hybrid-4", "sw-dsm-2", "hybrid-2"]
+
+SMALL = {
+    "matmult": dict(n=64),
+    "pi": dict(intervals=1 << 12),
+    "sor": dict(n=64, iterations=3),
+    "lu": dict(n=64, block=16),
+    "water": dict(molecules=24, steps=2),
+}
+
+
+class TestRowBlock:
+    def test_even_partition(self):
+        assert [row_block(8, r, 4) for r in range(4)] == [
+            (0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_partition_covers_all_rows(self):
+        blocks = [row_block(10, r, 4) for r in range(4)]
+        assert blocks[0] == (0, 3)
+        assert blocks[-1][1] == 10
+        covered = [i for lo, hi in blocks for i in range(lo, hi)]
+        assert covered == list(range(10))
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+@pytest.mark.parametrize("app", sorted(SMALL))
+class TestAppsVerifyEverywhere:
+    def test_app_verifies(self, platform, app):
+        result = run_app_on(preset(platform), app, **SMALL[app])
+        assert result.verified
+        assert result.phases["total"] > 0
+
+
+class TestAppBehaviour:
+    def test_lu_phase_split_consistent(self):
+        result = run_app_on(preset("sw-dsm-2"), "lu", **SMALL["lu"])
+        ph = result.phases
+        assert set(ph) >= {"all", "no_init", "core", "barrier", "init"}
+        # Merged phases are per-phase maxima across ranks, so additivity
+        # holds only as a bound: all <= init + no_init, all >= each part.
+        assert ph["all"] <= ph["init"] + ph["no_init"] + 1e-12
+        assert ph["all"] >= max(ph["init"], ph["no_init"])
+        assert ph["core"] <= ph["no_init"]
+        assert ph["barrier"] <= ph["no_init"]
+
+    def test_sor_locality_helps_on_swdsm(self):
+        opt = run_app_on(preset("sw-dsm-4"), "sor", n=128, iterations=4,
+                         locality=True)
+        unopt = run_app_on(preset("sw-dsm-4"), "sor", n=128, iterations=4,
+                           locality=False)
+        assert opt.phases["total"] < unopt.phases["total"]
+
+    def test_pi_converges(self):
+        import math
+
+        result = run_app_on(preset("hybrid-4"), "pi", intervals=1 << 14)
+        assert abs(result.checksum - math.pi) < 1e-4
+
+    def test_water_sizes(self):
+        for molecules in (24, 33):
+            result = run_app_on(preset("hybrid-2"), "water",
+                                molecules=molecules, steps=1)
+            assert result.verified
+            assert result.extra["molecules"] == molecules
+
+    def test_matmult_init_and_compute_phases(self):
+        result = run_app_on(preset("hybrid-2"), "matmult", n=64)
+        assert result.phases["init"] > 0
+        assert result.phases["compute"] > 0
+
+    def test_determinism_across_runs(self):
+        a = run_app_on(preset("sw-dsm-4"), "sor", n=64, iterations=2)
+        b = run_app_on(preset("sw-dsm-4"), "sor", n=64, iterations=2)
+        assert a.phases == b.phases
+        assert a.checksum == b.checksum
+
+    def test_verification_failure_raises(self, monkeypatch):
+        """If a protocol bug corrupted results, the harness must notice."""
+        import repro.apps.pi as pi_mod
+
+        original = pi_mod.run_pi
+
+        def sabotaged(api, **kw):
+            result = original(api, **kw)
+            return AppResult(app=result.app, rank=result.rank,
+                             phases=result.phases, verified=False)
+
+        monkeypatch.setitem(
+            __import__("repro.apps.common", fromlist=["_registry"]).__dict__,
+            "_registry", lambda: {"pi": sabotaged})
+        with pytest.raises(AssertionError, match="verification"):
+            run_app_on(preset("hybrid-2"), "pi", intervals=1024)
+
+
+class TestAppRegistry:
+    def test_table1_contents(self):
+        assert set(APP_TABLE) == {"matmult", "pi", "sor", "lu", "water",
+                                  "fft"}  # fft = extension beyond Table 1
+        assert APP_TABLE["matmult"]["working_set"] == "1024x1024 matrix"
+        assert APP_TABLE["water"]["working_set"] == "288 / 343 molecules"
+
+    def test_get_app_unknown(self):
+        with pytest.raises(AppError):
+            get_app("quake")
+
+    def test_merge_rank_results(self):
+        a = AppResult(app="x", rank=0, phases={"total": 1.0, "init": 0.5},
+                      verified=True, checksum=7.0)
+        b = AppResult(app="x", rank=1, phases={"total": 2.0, "init": 0.25},
+                      verified=True, checksum=7.0)
+        merged = merge_rank_results([a, b])
+        assert merged.phases == {"total": 2.0, "init": 0.5}
+        assert merged.verified
+
+    def test_merge_fails_if_any_unverified(self):
+        a = AppResult(app="x", rank=0, phases={"total": 1.0}, verified=True)
+        b = AppResult(app="x", rank=1, phases={"total": 1.0}, verified=False)
+        assert not merge_rank_results([a, b]).verified

@@ -1,0 +1,107 @@
+"""Edge cases for the benchmark applications: uneven partitions, odd rank
+counts, degenerate sizes, and phase accounting."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.apps.common import merge_rank_results
+from repro.config import ClusterConfig, preset
+from repro.models.jiajia_api import JiaJiaApi
+
+
+def run(config, app, **params):
+    plat = config.build()
+    api = JiaJiaApi(plat.hamster)
+    fn = get_app(app)
+    results = api.run(lambda a: fn(a, **params))
+    merged = merge_rank_results(results)
+    assert merged.verified, (app, params, config.name)
+    return merged
+
+
+class TestUnevenPartitions:
+    """3 ranks never divide the working sets evenly — every app must still
+    cover the full iteration space exactly once."""
+
+    @pytest.fixture(scope="class")
+    def cfg3(self):
+        return ClusterConfig(platform="beowulf", dsm="jiajia", nodes=3,
+                             name="sw-dsm-3")
+
+    def test_matmult_3_ranks(self, cfg3):
+        assert run(cfg3, "matmult", n=48).verified
+
+    def test_sor_3_ranks(self, cfg3):
+        assert run(cfg3, "sor", n=47, iterations=2).verified
+
+    def test_lu_3_ranks_with_ragged_last_panel(self, cfg3):
+        # 80 = 5 panels of 16: 5 % 3 != 0, last panel full-sized.
+        assert run(cfg3, "lu", n=80, block=16).verified
+
+    def test_water_3_ranks(self, cfg3):
+        assert run(cfg3, "water", molecules=25, steps=1).verified
+
+    def test_pi_3_ranks(self, cfg3):
+        assert run(cfg3, "pi", intervals=1000).verified  # not divisible by 3
+
+
+class TestDegenerateSizes:
+    def test_lu_single_panel(self):
+        cfg = preset("sw-dsm-2")
+        merged = run(cfg, "lu", n=16, block=16)  # one panel: no updates
+        assert merged.phases["core"] >= 0
+
+    def test_sor_minimum_interior(self):
+        cfg = preset("sw-dsm-2")
+        assert run(cfg, "sor", n=8, iterations=1).verified
+
+    def test_water_two_molecules(self):
+        cfg = preset("hybrid-2")
+        assert run(cfg, "water", molecules=2, steps=1).verified
+
+    def test_matmult_one_row_per_rank(self):
+        cfg = preset("sw-dsm-4")
+        assert run(cfg, "matmult", n=4).verified
+
+    def test_pi_one_interval(self):
+        cfg = preset("hybrid-2")
+        merged = run(cfg, "pi", intervals=1, verify=False)
+        assert merged.phases["total"] > 0
+
+
+class TestPhaseAccounting:
+    def test_phases_are_nonnegative_and_total_consistent(self):
+        for app, params in [("matmult", {"n": 32}),
+                            ("sor", {"n": 32, "iterations": 2}),
+                            ("water", {"molecules": 16, "steps": 1})]:
+            merged = run(preset("hybrid-2"), app, **params)
+            for name, value in merged.phases.items():
+                assert value >= 0, (app, name)
+            assert merged.phases["total"] >= merged.phases["init"]
+
+    def test_lu_barrier_share_grows_with_ranks(self):
+        """More ranks, same matrix: barrier share of no-init time rises
+        (classic strong-scaling sync wall)."""
+        def share(nodes):
+            cfg = ClusterConfig(platform="beowulf", dsm="jiajia", nodes=nodes,
+                                name=f"sw{nodes}")
+            merged = run(cfg, "lu", n=64, block=16)
+            return merged.phases["barrier"] / merged.phases["no_init"]
+
+        assert share(4) > share(2) * 0.9  # rising or near-equal, never falls hard
+
+    def test_verify_false_skips_reference(self):
+        merged = run(preset("hybrid-2"), "sor", n=32, iterations=1,
+                     verify=False)
+        assert merged.verified  # vacuously true
+        assert merged.checksum == 0.0
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_data_same_behaviour(self):
+        a = run(preset("sw-dsm-2"), "sor", n=32, iterations=2, seed=1)
+        b = run(preset("sw-dsm-2"), "sor", n=32, iterations=2, seed=2)
+        assert a.checksum != b.checksum
+        # Protocol work is data-independent for SOR (dense writes).
+        assert a.phases["total"] == pytest.approx(b.phases["total"], rel=0.05)

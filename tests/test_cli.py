@@ -1,0 +1,82 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--app", "pi"])
+        assert args.preset == "sw-dsm-4"
+        assert args.app == "pi"
+        assert args.param == []
+
+    def test_param_type_inference(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "sor", "--param", "n=64",
+             "--param", "locality=false", "--param", "omega=1.5",
+             "--param", "tag=hello"])
+        params = dict(args.param)
+        assert params == {"n": 64, "locality": False, "omega": 1.5,
+                          "tag": "hello"}
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "pi", "--param", "oops"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_platforms_lists_presets(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "sw-dsm-4" in out and "hybrid-2" in out
+        assert "native-jiajia-4" in out
+
+    def test_apps_lists_table1(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Matrix Multiplication" in out
+        assert "288 / 343 molecules" in out
+
+    def test_run_pi(self, capsys):
+        code = main(["run", "--preset", "hybrid-2", "--app", "pi",
+                     "--param", "intervals=4096"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified : True" in out
+        assert "total" in out
+
+    def test_run_with_profile(self, capsys):
+        code = main(["run", "--preset", "sw-dsm-2", "--app", "sor",
+                     "--param", "n=64", "--param", "iterations=2",
+                     "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and "sync share" in out
+
+    def test_run_native_binding(self, capsys):
+        code = main(["run", "--preset", "native-jiajia-2", "--app", "pi",
+                     "--param", "intervals=4096", "--native"])
+        assert code == 0
+        assert "[native binding]" in capsys.readouterr().out
+
+    def test_run_from_config_file(self, tmp_path, capsys):
+        from repro.config import preset
+
+        path = tmp_path / "cluster.cfg"
+        path.write_text(preset("hybrid-2").to_text())
+        code = main(["run", "--config", str(path), "--app", "pi",
+                     "--param", "intervals=4096"])
+        assert code == 0
+        assert "scivm" in capsys.readouterr().out
+
+    def test_run_unknown_app(self):
+        from repro.apps.common import AppError
+
+        with pytest.raises(AppError):
+            main(["run", "--preset", "hybrid-2", "--app", "doom"])

@@ -1,0 +1,165 @@
+"""Cross-model equivalence: the same computation expressed in different
+programming models produces identical results on the same platform —
+retargetability without semantic drift (§4.4).
+
+The computation: block-fill an n×n matrix, barrier, lock-protected global
+reduction — expressed natively in five APIs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import preset
+from repro.models.anl import AnlMacros
+from repro.models.hlrc import HlrcApi
+from repro.models.jiajia_api import JiaJiaApi
+from repro.models.pthreads import PosixThreadsApi
+from repro.models.shmem import ShmemApi
+from repro.models.spmd import SpmdModel
+from repro.models.treadmarks import TreadMarksApi
+
+N = 16
+
+
+def expected(n_ranks: int) -> float:
+    rows = N // n_ranks
+    return float(sum((r + 1) * rows * N for r in range(n_ranks)))
+
+
+def via_spmd(plat):
+    model = SpmdModel(plat.hamster)
+
+    def main(m):
+        pid = m.spmd_init()
+        A = m.spmd_alloc_array((N, N), name="A")
+        total = m.spmd_alloc_array((1,), name="t")
+        rows = N // m.spmd_num_procs()
+        A[pid * rows:(pid + 1) * rows, :] = float(pid + 1)
+        m.spmd_barrier()
+        m.spmd_lock(0)
+        total[0] = float(total[0]) + float(A[pid * rows:(pid + 1) * rows, :].sum())
+        m.spmd_unlock(0)
+        m.spmd_barrier()
+        value = float(total[0])
+        m.spmd_exit()
+        return value
+
+    return model.run(main)
+
+
+def via_jiajia(plat):
+    api = JiaJiaApi(plat.hamster)
+
+    def main(a):
+        pid, hosts = a.jia_init()
+        A = a.jia_alloc_array((N, N), name="A")
+        total = a.jia_alloc_array((1,), name="t")
+        rows = N // hosts
+        A[pid * rows:(pid + 1) * rows, :] = float(pid + 1)
+        a.jia_barrier()
+        a.jia_lock(0)
+        total[0] = float(total[0]) + float(A[pid * rows:(pid + 1) * rows, :].sum())
+        a.jia_unlock(0)
+        a.jia_barrier()
+        value = float(total[0])
+        a.jia_exit()
+        return value
+
+    return api.run(main)
+
+
+def via_treadmarks(plat):
+    api = TreadMarksApi(plat.hamster)
+
+    def main(t):
+        t.Tmk_startup()
+        pid, nprocs = t.Tmk_proc_id(), t.Tmk_nprocs()
+        if pid == 0:
+            A = t.Tmk_distribute("A", t.Tmk_malloc_array((N, N), name="A"))
+            total = t.Tmk_distribute("t", t.Tmk_malloc_array((1,), name="t"))
+        else:
+            A = t.Tmk_distribute("A")
+            total = t.Tmk_distribute("t")
+        rows = N // nprocs
+        A[pid * rows:(pid + 1) * rows, :] = float(pid + 1)
+        t.Tmk_barrier()
+        t.Tmk_lock_acquire(0)
+        total[0] = float(total[0]) + float(A[pid * rows:(pid + 1) * rows, :].sum())
+        t.Tmk_lock_release(0)
+        t.Tmk_barrier()
+        value = float(total[0])
+        t.Tmk_exit()
+        return value
+
+    return api.run(main)
+
+
+def via_anl(plat):
+    api = AnlMacros(plat.hamster)
+
+    def main(a):
+        a.MAIN_INITENV()
+        pid = a.hamster.task.my_rank()
+        nprocs = a.hamster.task.n_tasks()
+        A = a.G_MALLOC_ARRAY((N, N), name="A")
+        total = a.G_MALLOC_ARRAY((1,), name="t")
+        lock = 0
+        rows = N // nprocs
+        A[pid * rows:(pid + 1) * rows, :] = float(pid + 1)
+        a.BARRIER()
+        a.LOCK(lock)
+        total[0] = float(total[0]) + float(A[pid * rows:(pid + 1) * rows, :].sum())
+        a.UNLOCK(lock)
+        a.BARRIER()
+        value = float(total[0])
+        a.MAIN_END()
+        return value
+
+    return api.run(main)
+
+
+def via_shmem(plat):
+    api = ShmemApi(plat.hamster)
+
+    def main(s):
+        s.start_pes(0)
+        me, n_pes = s.shmem_my_pe(), s.shmem_n_pes()
+        rows = N // n_pes
+        sym = s.shmem_malloc((rows, N), name="block")
+        partial = s.shmem_malloc((1,), name="partial")
+        sym.write(me, (slice(0, rows), slice(0, N)), float(me + 1))
+        partial.write(me, 0, float((me + 1) * rows * N))
+        s.shmem_quiet()
+        s.shmem_barrier_all()
+        total = s.shmem_double_sum_to_all(partial, 0)
+        s.shmem_finalize()
+        return float(np.asarray(total))
+
+    return api.run(main)
+
+
+RUNNERS = {
+    "spmd": via_spmd,
+    "jiajia": via_jiajia,
+    "treadmarks": via_treadmarks,
+    "anl": via_anl,
+    "shmem": via_shmem,
+}
+
+
+@pytest.mark.parametrize("platform", ["sw-dsm-4", "hybrid-4", "smp-2"])
+@pytest.mark.parametrize("model", sorted(RUNNERS))
+def test_every_model_computes_the_same_sum(platform, model):
+    plat = preset(platform).build()
+    results = RUNNERS[model](plat)
+    target = expected(plat.hamster.n_ranks)
+    assert all(abs(r - target) < 1e-9 for r in results), (model, results)
+
+
+@pytest.mark.parametrize("platform", ["sw-dsm-4", "hybrid-4"])
+def test_all_models_agree_pairwise(platform):
+    values = set()
+    for model, runner in RUNNERS.items():
+        plat = preset(platform).build()
+        values.add(round(runner(plat)[0], 9))
+    assert len(values) == 1, values

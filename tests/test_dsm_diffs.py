@@ -1,0 +1,122 @@
+"""Unit + property tests for the twin/diff machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm.jiajia.diffs import (DIFF_HEADER_BYTES, RUN_HEADER_BYTES,
+                                    apply_diff, diff_wire_size, make_diff)
+from repro.errors import MemoryError_
+
+
+def page(values):
+    return np.array(values, dtype=np.uint8)
+
+
+class TestMakeDiff:
+    def test_identical_pages_produce_empty_diff(self):
+        twin = page([1, 2, 3, 4])
+        d = make_diff(7, twin, twin.copy())
+        assert d.empty and d.changed_bytes == 0
+        assert d.page == 7
+
+    def test_single_run(self):
+        twin = page([0] * 8)
+        cur = twin.copy()
+        cur[2:5] = [9, 9, 9]
+        d = make_diff(0, twin, cur)
+        assert len(d.runs) == 1
+        off, data = d.runs[0]
+        assert off == 2 and data.tolist() == [9, 9, 9]
+
+    def test_multiple_runs(self):
+        twin = page([0] * 10)
+        cur = twin.copy()
+        cur[0] = 1
+        cur[5:7] = 2
+        cur[9] = 3
+        d = make_diff(0, twin, cur)
+        assert [(off, data.tolist()) for off, data in d.runs] == [
+            (0, [1]), (5, [2, 2]), (9, [3])]
+        assert d.changed_bytes == 4
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MemoryError_):
+            make_diff(0, page([1, 2]), page([1, 2, 3]))
+
+    def test_run_data_is_a_copy(self):
+        twin = page([0] * 4)
+        cur = page([5, 0, 0, 0])
+        d = make_diff(0, twin, cur)
+        cur[0] = 7
+        assert d.runs[0][1][0] == 5
+
+
+class TestApplyDiff:
+    def test_apply_reproduces_current(self):
+        twin = page(range(16))
+        cur = twin.copy()
+        cur[3:6] = 0
+        cur[12] = 255
+        d = make_diff(0, twin, cur)
+        target = twin.copy()
+        written = apply_diff(target, d)
+        assert np.array_equal(target, cur)
+        assert written == d.changed_bytes
+
+    def test_out_of_bounds_run_rejected(self):
+        d = make_diff(0, page([0, 0]), page([0, 1]))
+        with pytest.raises(MemoryError_):
+            apply_diff(page([0]), d)
+
+    def test_disjoint_diffs_merge_at_home(self):
+        """The multiple-writer property: two writers of disjoint parts of
+        one page both diff against the same twin; both diffs applied to the
+        home yield the union of the writes (false sharing is harmless)."""
+        base = page([0] * 16)
+        w1 = base.copy()
+        w1[0:4] = 1
+        w2 = base.copy()
+        w2[8:12] = 2
+        home = base.copy()
+        apply_diff(home, make_diff(0, base, w1))
+        apply_diff(home, make_diff(0, base, w2))
+        assert home[0:4].tolist() == [1] * 4
+        assert home[8:12].tolist() == [2] * 4
+        assert home[4:8].tolist() == [0] * 4
+
+
+class TestWireSize:
+    def test_empty_diff_is_header_only(self):
+        d = make_diff(0, page([1]), page([1]))
+        assert diff_wire_size(d) == DIFF_HEADER_BYTES
+
+    def test_size_formula(self):
+        twin = page([0] * 10)
+        cur = twin.copy()
+        cur[0] = 1
+        cur[5] = 1
+        d = make_diff(0, twin, cur)
+        assert diff_wire_size(d) == DIFF_HEADER_BYTES + 2 * RUN_HEADER_BYTES + 2
+
+
+class TestDiffProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(twin=st.lists(st.integers(0, 255), min_size=1, max_size=256),
+           changes=st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                            max_size=32))
+    def test_apply_make_is_identity(self, twin, changes):
+        """apply(twin, make(twin, cur)) == cur for arbitrary mutations."""
+        twin_arr = page(twin)
+        cur = twin_arr.copy()
+        for pos, val in changes:
+            cur[pos % len(cur)] = val
+        d = make_diff(0, twin_arr, cur)
+        target = twin_arr.copy()
+        apply_diff(target, d)
+        assert np.array_equal(target, cur)
+        # Wire size is consistent with the runs.
+        assert diff_wire_size(d) == (DIFF_HEADER_BYTES
+                                     + len(d.runs) * RUN_HEADER_BYTES
+                                     + d.changed_bytes)

@@ -1,0 +1,370 @@
+"""Protocol tests for the JiaJia-style SW-DSM.
+
+These exercise the home-based scope-consistency machinery directly: page
+state transitions, fetch/twin/diff lifecycles, lock-bound write notices,
+barrier globalization, first-touch homes, and the statistics counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import preset
+from repro.errors import SynchronizationError
+from repro.memory.layout import block, cyclic, first_touch, single_home
+from repro.memory.page import PageState
+from tests.conftest import spmd
+
+
+def build(nodes=2, **kw):
+    cfg = preset(f"sw-dsm-{nodes}")
+    for k, v in kw.items():
+        setattr(cfg, k, v)
+    return cfg.build()
+
+
+class TestFaultLifecycle:
+    def test_read_fault_fetches_and_sets_read_only(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((512,), name="A",
+                                distribution=single_home(0))  # 1 page, home 0
+            page = A.region.first_page
+            if env.rank == 0:
+                A[:] = 7.0
+            env.barrier()
+            if env.rank == 1:
+                before = dsm.page_state(1, page)
+                value = float(A[0])
+                after = dsm.page_state(1, page)
+                return before, value, after
+            return None
+
+        res = spmd(plat, main)[1]
+        assert res == (PageState.INVALID, 7.0, PageState.READ_ONLY)
+
+    def test_write_fault_creates_twin_and_dirty(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            page = A.region.first_page
+            env.barrier()
+            if env.rank == 1:
+                A[0] = 1.0  # remote write fault
+                return (dsm.page_state(1, page),
+                        page in dsm._twins[1],
+                        page in dsm._dirty[1])
+            return None
+
+        state, has_twin, is_dirty = spmd(plat, main)[1]
+        assert state == PageState.READ_WRITE
+        assert has_twin and is_dirty
+
+    def test_home_pages_never_fetch(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((512,), name="A",
+                                distribution=single_home(env.hamster.dsm.current_rank() if False else 0))
+            if env.rank == 0:
+                A[0] = 1.0
+                A[0] = 2.0
+            env.barrier()
+            return dsm.stats(0)["pages_fetched"]
+
+        assert spmd(plat, main)[0] == 0
+
+    def test_flush_reprotects_to_read_only(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            page = A.region.first_page
+            env.barrier()
+            if env.rank == 1:
+                A[0] = 1.0
+                env.barrier()  # flush
+                return dsm.page_state(1, page), page in dsm._twins[1]
+            env.barrier()
+            return None
+
+        state, has_twin = spmd(plat, main)[1]
+        assert state == PageState.READ_ONLY
+        assert not has_twin
+
+
+class TestScopeConsistency:
+    def test_lock_delivers_writes_of_same_scope(self):
+        plat = build()
+
+        def main(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            if env.rank == 0:
+                env.lock(1)
+                A[0] = 42.0
+                env.unlock(1)
+                env.lock(2)  # rendezvous so rank 1 runs after
+                env.unlock(2)
+            else:
+                env.hamster.engine.current_process.hold(0.01)  # let rank 0 go first
+                env.lock(1)
+                value = float(A[0])
+                env.unlock(1)
+                return value
+            env.barrier()
+            return None
+
+        # Deadlock-free completion needs rank1's barrier too; restructure:
+        def main2(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            env.barrier()
+            if env.rank == 0:
+                env.lock(1)
+                A[0] = 42.0
+                env.unlock(1)
+            env.barrier()
+            env.lock(1)
+            value = float(A[0])
+            env.unlock(1)
+            env.barrier()
+            return value
+
+        assert spmd(plat, main2) == [42.0, 42.0]
+
+    def test_unsynchronized_read_can_be_stale(self):
+        """The defining relaxation: without acquiring the writer's scope,
+        a cached copy may legitimately remain stale."""
+        plat = build()
+
+        def main(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            if env.rank == 1:
+                _ = float(A[0])  # cache the page (value 0.0)
+            env.barrier()
+            if env.rank == 0:
+                env.lock(1)
+                A[0] = 99.0
+                env.unlock(1)
+                env.hamster.cluster_ctl.send_msg(1, "written")
+            else:
+                env.hamster.cluster_ctl.recv_msg()
+                stale = float(A[0])       # no acquire: may be stale
+                env.lock(1)
+                fresh = float(A[0])       # acquire of scope 1: must be fresh
+                env.unlock(1)
+                return stale, fresh
+            return None
+
+        stale, fresh = spmd(plat, main)[1]
+        assert stale == 0.0
+        assert fresh == 99.0
+
+    def test_barrier_globalizes_all_notices(self):
+        plat = build(nodes=4)
+
+        def main(env):
+            A = env.alloc_array((4096,), name="A", distribution=cyclic())
+            _ = A[:]  # cache everything everywhere
+            env.barrier()
+            A[env.rank * 512:(env.rank + 1) * 512] = float(env.rank + 1)
+            env.barrier()
+            total = float(A[:].sum())
+            return total
+
+        expect = sum(512 * (r + 1) for r in range(4))
+        assert spmd(plat, main) == [expect] * 4
+
+    def test_own_writes_do_not_invalidate_self(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            env.barrier()
+            if env.rank == 1:
+                A[0] = 5.0
+            env.barrier()
+            if env.rank == 1:
+                before = dsm.stats(1)["pages_fetched"]
+                _ = float(A[0])  # own write; own copy stayed valid
+                return dsm.stats(1)["pages_fetched"] - before
+            return None
+
+        assert spmd(plat, main)[1] == 0
+
+
+class TestMultipleWriter:
+    def test_false_sharing_merges_at_home(self):
+        """Two ranks write disjoint halves of ONE page concurrently; after
+        the barrier both see the union — no lost updates."""
+        plat = build()
+
+        def main(env):
+            A = env.alloc_array((512,), name="A", distribution=single_home(0))
+            env.barrier()
+            if env.rank == 0:
+                A[0:256] = 1.0
+            else:
+                A[256:512] = 2.0
+            env.barrier()
+            data = A[:]
+            return float(data[:256].sum()), float(data[256:].sum())
+
+        for lo, hi in spmd(plat, main):
+            assert lo == 256.0 and hi == 512.0
+
+    def test_diff_traffic_counted(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((512,), np.uint8, name="A",
+                                distribution=single_home(0))
+            env.barrier()
+            if env.rank == 1:
+                A[0:32] = 9
+            env.barrier()
+            return dsm.stats(env.rank)["diffs_created"], dsm.stats(env.rank)["diff_bytes"]
+
+        diffs, nbytes = spmd(plat, main)[1]
+        assert diffs == 1
+        assert nbytes == 32  # diffs are byte-granular: exactly the changed bytes
+
+
+class TestHomes:
+    def test_first_touch_assigns_toucher(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((1024,), name="A", distribution=first_touch())
+            # 2 pages; rank r touches page r first.
+            env.barrier()
+            A[env.rank * 512:(env.rank + 1) * 512] = 1.0
+            env.barrier()
+            first = A.region.first_page
+            return dsm.home_of(first + env.rank)
+
+        homes = spmd(plat, main)
+        assert homes == [0, 1]
+
+    def test_block_homes_match_partition(self):
+        plat = build(nodes=4)
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((8, 512), name="A", distribution=block())
+            env.barrier()
+            first = A.region.first_page
+            return [dsm.home_of(first + i) for i in range(8)]
+
+        assert spmd(plat, main)[0] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+class TestLocks:
+    def test_mutual_exclusion_counter(self):
+        plat = build(nodes=4)
+
+        def main(env):
+            A = env.alloc_array((512,), name="ctr", distribution=single_home(0))
+            if env.rank == 0:
+                A[0] = 0.0
+            env.barrier()
+            for _ in range(5):
+                env.lock(3)
+                A[0] = float(A[0]) + 1.0
+                env.unlock(3)
+            env.barrier()
+            return float(A[0])
+
+        assert spmd(plat, main) == [20.0] * 4
+
+    def test_try_lock(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            env.barrier()
+            if env.rank == 0:
+                assert dsm.try_lock(5)            # free -> granted
+                env.barrier()                      # let rank 1 try
+                env.barrier()
+                dsm.unlock(5)
+                return True
+            env.barrier()
+            got = dsm.try_lock(5)                 # held by rank 0 -> refused
+            env.barrier()
+            return got
+
+        assert spmd(plat, main) == [True, False]
+
+    def test_release_by_non_holder_rejected(self):
+        plat = build()
+
+        def main(env):
+            if env.rank == 0:
+                env.hamster.dsm.lock(7)
+            env.barrier()
+            if env.rank == 1:
+                with pytest.raises(SynchronizationError):
+                    env.hamster.dsm.unlock(7)
+            env.barrier()
+            if env.rank == 0:
+                env.hamster.dsm.unlock(7)
+            return True
+
+        # The manager-side error surfaces in the engine for remote releases;
+        # lock 7 with 2 ranks is managed by rank 1 (7 % 2), so rank 1's
+        # release attempt is local and raises directly.
+        assert all(spmd(plat, main))
+
+    def test_locks_have_distributed_managers(self):
+        plat = build(nodes=4)
+        dsm = plat.dsm
+        assert [dsm._manager_of(i) for i in range(4)] == [0, 1, 2, 3]
+
+
+class TestStats:
+    def test_fault_and_fetch_counters(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            A = env.alloc_array((1024,), name="A", distribution=single_home(0))
+            if env.rank == 0:
+                A[:] = 1.0
+            env.barrier()
+            if env.rank == 1:
+                _ = A[:]
+            env.barrier()
+            return dsm.stats(env.rank)
+
+        stats = spmd(plat, main)[1]
+        assert stats["read_faults"] == 2   # two pages
+        assert stats["pages_fetched"] == 2
+        assert stats["barriers"] == 3      # alloc-collective + 2 explicit
+
+    def test_reset_stats(self):
+        plat = build()
+        dsm = plat.dsm
+
+        def main(env):
+            env.barrier()
+            return True
+
+        spmd(plat, main)
+        dsm.reset_stats()
+        assert dsm.stats(0)["barriers"] == 0
+
+    def test_capabilities(self):
+        plat = build()
+        caps = plat.dsm.capabilities()
+        assert "software_dsm" in caps
+        assert "consistency:scope" in caps
+        assert "multiple_writer" in caps
+        assert plat.dsm.consistency_model() == "scope"

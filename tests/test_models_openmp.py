@@ -1,0 +1,226 @@
+"""Tests for the OpenMP-like extension model."""
+
+import numpy as np
+import pytest
+
+from repro.config import preset
+from repro.errors import ModelError
+from repro.models.openmp import OpenMpModel
+
+
+def build(name="sw-dsm-4"):
+    plat = preset(name).build()
+    return plat, OpenMpModel(plat.hamster)
+
+
+class TestIdentity:
+    def test_thread_identity(self):
+        plat, omp = build()
+
+        def main(m):
+            return m.omp_get_thread_num(), m.omp_get_num_threads(), m.omp_in_parallel()
+
+        res = omp.run(main)
+        assert res == [(r, 4, True) for r in range(4)]
+
+    def test_manifest(self):
+        OpenMpModel.check_manifest()
+
+
+class TestSchedules:
+    def test_static_covers_all_indices_disjointly(self):
+        plat, omp = build()
+
+        def main(m):
+            return [i for span in m.omp_schedule_static(37) for i in span]
+
+        chunks = omp.run(main)
+        flat = sorted(i for c in chunks for i in c)
+        assert flat == list(range(37))
+
+    def test_static_chunked_round_robin(self):
+        plat, omp = build()
+
+        def main(m):
+            return [i for span in m.omp_schedule_static(32, chunk=4)
+                    for i in span]
+
+        chunks = omp.run(main)
+        assert chunks[0][:8] == [0, 1, 2, 3, 16, 17, 18, 19]
+        assert sorted(i for c in chunks for i in c) == list(range(32))
+
+    def test_dynamic_covers_all_indices_once(self):
+        plat, omp = build()
+
+        def main(m):
+            got = []
+            for span in m.omp_schedule_dynamic(50, chunk=4):
+                got.extend(span)
+                m.hamster.engine.require_process().hold(1e-5)
+            m.omp_barrier()
+            return got
+
+        chunks = omp.run(main)
+        flat = sorted(i for c in chunks for i in c)
+        assert flat == list(range(50))
+
+    def test_guided_chunks_shrink(self):
+        plat, omp = build("smp-2")
+
+        def main(m):
+            if m.omp_get_thread_num() != 0:
+                m.omp_barrier()
+                return None
+            sizes = [len(span) for span in m.omp_schedule_guided(128)]
+            m.omp_barrier()
+            return sizes
+
+        sizes = omp.run(main)[0]
+        assert sum(sizes) == 128
+        assert sizes[0] >= sizes[-1]
+
+    def test_parallel_for_computes(self):
+        plat, omp = build()
+        plat2 = plat  # one shared output array via single
+
+        def main(m):
+            out = m.hamster.memory.alloc_array_collective((64,), name="out")
+
+            def body(i):
+                out[i] = float(i * i)
+
+            m.omp_parallel_for(64, body, schedule="static")
+            return float(out[:].sum())
+
+        expect = float(sum(i * i for i in range(64)))
+        assert omp.run(main) == [expect] * 4
+
+    def test_unknown_schedule_rejected(self):
+        plat, omp = build("smp-2")
+
+        def main(m):
+            with pytest.raises(ModelError):
+                m.omp_parallel_for(4, lambda i: None, schedule="magic")
+            m.omp_barrier()  # match the other rank's implicit barrier? none
+            return True
+
+        # No implicit barrier happens on failure; both ranks raise.
+        def safe_main(m):
+            try:
+                m.omp_parallel_for(4, lambda i: None, schedule="magic")
+            except ModelError:
+                return True
+            return False
+
+        assert all(omp.run(safe_main))
+
+
+class TestBlocksAndReductions:
+    def test_critical_protects_shared_counter(self):
+        plat, omp = build()
+
+        def main(m):
+            acc = m.hamster.memory.alloc_array_collective((1,), name="acc")
+            for _ in range(5):
+                m.omp_atomic_add(acc, 0, 1.0)
+            m.omp_barrier()
+            return float(acc[0])
+
+        assert omp.run(main) == [20.0] * 4
+
+    def test_single_broadcasts_result(self):
+        plat, omp = build()
+        calls = []
+
+        def main(m):
+            def body():
+                calls.append(1)
+                return 42
+
+            return m.omp_single(body)
+
+        assert omp.run(main) == [42] * 4
+        assert len(calls) == 1
+
+    def test_master_runs_on_thread0_only(self):
+        plat, omp = build()
+        ran = []
+
+        def main(m):
+            result = m.omp_master(lambda: ran.append(m.omp_get_thread_num()) or "done")
+            m.omp_barrier()
+            return result
+
+        res = omp.run(main)
+        assert ran == [0]
+        assert res[0] == "done" and res[1] is None
+
+    def test_ordered_respects_iteration_order(self):
+        plat, omp = build()
+        log = []
+
+        def main(m):
+            me = m.omp_get_thread_num()
+            # Each thread owns one iteration; execute bodies in index order.
+            m.omp_ordered(me, 4, lambda: log.append(me))
+            m.omp_barrier()
+            return True
+
+        assert all(omp.run(main))
+        assert log == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("op,expect", [("+", 0 + 1 + 2 + 3),
+                                           ("*", 0),
+                                           ("max", 3.0), ("min", 0.0)])
+    def test_reductions(self, op, expect):
+        plat, omp = build()
+
+        def main(m):
+            return m.omp_reduce(float(m.omp_get_thread_num()), op=op)
+
+        assert omp.run(main) == [float(expect)] * 4
+
+    def test_unknown_reduction_rejected(self):
+        plat, omp = build("smp-2")
+
+        def main(m):
+            try:
+                m.omp_reduce(1.0, op="xor")
+            except ModelError:
+                return True
+            return False
+
+        assert all(omp.run(main))
+
+    def test_locks_and_flush(self):
+        plat, omp = build("hybrid-2")
+
+        def main(m):
+            lock = m.omp_init_lock() if m.omp_get_thread_num() == 0 else None
+            m.hamster.cluster_ctl.publish("lk", lock) if lock is not None else None
+            m.omp_barrier()
+            lock = m.hamster.cluster_ctl.lookup("lk")
+            m.omp_set_lock(lock)
+            m.omp_unset_lock(lock)
+            m.omp_flush()
+            return m.omp_get_wtime() > 0
+
+        assert all(omp.run(main))
+
+
+class TestPortability:
+    @pytest.mark.parametrize("platform", ["smp-2", "sw-dsm-2", "hybrid-2"])
+    def test_same_dot_product_everywhere(self, platform):
+        plat, omp = build(platform)
+        rng = np.random.default_rng(1)
+        x, y = rng.random(512), rng.random(512)
+        expect = float(x @ y)
+
+        def main(m):
+            spans = m.omp_schedule_static(512)
+            local = sum(float(x[s.start:s.stop] @ y[s.start:s.stop])
+                        for s in spans)
+            return m.omp_reduce(local, op="+")
+
+        for value in omp.run(main):
+            assert abs(value - expect) < 1e-9

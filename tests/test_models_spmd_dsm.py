@@ -1,0 +1,269 @@
+"""Tests for the SPMD, SMP/SPMD, JiaJia, TreadMarks, and HLRC model layers."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, preset
+from repro.errors import ModelError
+from repro.models.hlrc import HlrcApi
+from repro.models.jiajia_api import JiaJiaApi
+from repro.models.native_jiajia import NativeJiaJiaApi
+from repro.models.smp_spmd import SmpSpmdModel
+from repro.models.spmd import SpmdModel
+from repro.models.treadmarks import TreadMarksApi
+
+
+class TestSpmdModel:
+    def test_identity_and_alloc(self, swdsm4):
+        model = SpmdModel(swdsm4.hamster)
+
+        def main(m):
+            pid = m.spmd_init()
+            assert pid == m.spmd_proc_id()
+            assert m.spmd_num_procs() == 4
+            assert m.spmd_num_nodes() == 4
+            A = m.spmd_alloc_array((8, 8), name="A")
+            A[pid * 2:(pid + 1) * 2, :] = float(pid)
+            m.spmd_barrier()
+            total = float(A[:, :].sum())
+            m.spmd_exit()
+            return total
+
+        expect = sum(r * 16 for r in range(4))
+        assert model.run(main) == [expect] * 4
+
+    def test_locks_and_trylock(self, smp2):
+        model = SpmdModel(smp2.hamster)
+
+        def main(m):
+            lock = m.spmd_newlock() if m.spmd_proc_id() == 0 else None
+            m.spmd_barrier()
+            m.spmd_lock(0)
+            ok = m.spmd_trylock(0) if False else True
+            m.spmd_unlock(0)
+            return ok
+
+        assert all(model.run(main))
+
+    def test_messaging(self, swdsm4):
+        model = SpmdModel(swdsm4.hamster)
+
+        def main(m):
+            pid = m.spmd_proc_id()
+            if pid == 0:
+                m.spmd_send(1, "payload")
+                return None
+            if pid == 1:
+                return m.spmd_recv()
+            return None
+
+        assert model.run(main)[1] == (0, "payload")
+
+    def test_stats_and_capabilities(self, swdsm4):
+        model = SpmdModel(swdsm4.hamster)
+
+        def main(m):
+            m.spmd_barrier()
+            stats = m.spmd_stats()
+            caps = m.spmd_capabilities()
+            return stats["barriers"] > 0, "software_dsm" in caps
+
+        assert all(all(pair) for pair in model.run(main))
+
+    def test_fence_and_scopes(self, swdsm4):
+        model = SpmdModel(swdsm4.hamster)
+
+        def main(m):
+            m.spmd_acquire(9)
+            m.spmd_release(9)
+            m.spmd_fence()
+            return True
+
+        assert all(model.run(main))
+
+
+class TestSmpSpmdModel:
+    def test_locality_queries_on_smp(self):
+        plat = ClusterConfig(platform="smp", dsm="smp", nodes=4, ranks=4).build()
+        model = SmpSpmdModel(plat.hamster)
+
+        def main(m):
+            return (m.spmd_local_peers(), m.spmd_is_local(0),
+                    m.spmd_local_master(), m.spmd_cpus_on_node())
+
+        peers, is_local, master, cpus = model.run(main)[0]
+        assert peers == [0, 1, 2, 3]
+        assert is_local and master == 0 and cpus == 4
+
+    def test_locality_queries_on_cluster(self, swdsm4):
+        model = SmpSpmdModel(swdsm4.hamster)
+
+        def main(m):
+            me = m.spmd_proc_id()
+            return m.spmd_local_peers(), m.spmd_is_local((me + 1) % 4)
+
+        peers, other_local = model.run(main)[0]
+        assert peers == [0]
+        assert not other_local
+
+    def test_local_barrier(self):
+        plat = ClusterConfig(platform="smp", dsm="smp", nodes=2, ranks=2).build()
+        model = SmpSpmdModel(plat.hamster)
+
+        def main(m):
+            m.spmd_local_barrier()
+            return m.hamster.timing.wtime()
+
+        t = model.run(main)
+        assert t[0] == t[1]
+
+
+class TestJiaJiaBindings:
+    def test_hamster_and_native_agree_numerically(self):
+        """The Figure 2 precondition: identical app, identical results on
+        both bindings (only timing differs)."""
+        def run(native):
+            name = "native-jiajia-4" if native else "sw-dsm-4"
+            plat = preset(name).build()
+            api = (NativeJiaJiaApi(plat.hamster) if native
+                   else JiaJiaApi(plat.hamster))
+
+            def main(a):
+                pid, hosts = a.jia_init()
+                arr = a.jia_alloc_array((16, 16), name="A")
+                arr[pid * 4:(pid + 1) * 4, :] = pid + 1.0
+                a.jia_barrier()
+                a.jia_lock(1)
+                arr[0, 0] = float(arr[0, 0]) + 1.0
+                a.jia_unlock(1)
+                a.jia_barrier()
+                total = float(arr[:, :].sum())
+                a.jia_exit()
+                return total
+
+            return api.run(main), plat.engine.now
+
+        (res_h, t_h), (res_n, t_n) = run(False), run(True)
+        assert res_h == res_n
+        assert t_h != t_n  # bindings differ in cost, not semantics
+
+    def test_native_requires_jiajia(self, smp2):
+        with pytest.raises(ModelError):
+            NativeJiaJiaApi(smp2.hamster)
+
+    def test_jia_alloc_bytes(self, swdsm4):
+        api = JiaJiaApi(swdsm4.hamster)
+
+        def main(a):
+            region = a.jia_alloc(10000)
+            return region.size
+
+        sizes = api.run(main)
+        assert sizes == [12288] * 4  # same region, page rounded
+
+    def test_jia_wtime_monotone(self, swdsm4):
+        api = JiaJiaApi(swdsm4.hamster)
+
+        def main(a):
+            t0 = a.jia_wtime()
+            a.jia_barrier()
+            return a.jia_wtime() >= t0
+
+        assert all(api.run(main))
+
+
+class TestTreadMarks:
+    def test_single_node_alloc_and_distribute(self, swdsm4):
+        api = TreadMarksApi(swdsm4.hamster)
+
+        def main(t):
+            t.Tmk_startup()
+            pid = t.Tmk_proc_id()
+            if pid == 0:
+                arr = t.Tmk_malloc_array((8, 8), name="data")
+                arr = t.Tmk_distribute("data", arr)
+            else:
+                arr = t.Tmk_distribute("data")
+            arr[pid * 2:(pid + 1) * 2, :] = pid
+            t.Tmk_barrier()
+            total = float(arr[:, :].sum())
+            t.Tmk_exit()
+            return total
+
+        expect = sum(r * 16 for r in range(4))
+        assert api.run(main) == [expect] * 4
+
+    def test_malloc_homes_pages_on_caller(self, swdsm4):
+        api = TreadMarksApi(swdsm4.hamster)
+        dsm = swdsm4.dsm
+
+        def main(t):
+            pid = t.Tmk_proc_id()
+            if pid == 2:
+                arr = t.Tmk_malloc_array((512,), name="x")
+                return dsm.home_of(arr.region.first_page)
+            return None
+
+        assert api.run(main)[2] == 2
+
+    def test_malloc_has_no_implicit_barrier(self, swdsm4):
+        """The paper's point: single-node allocation avoids the global
+        synchronous allocation's implicit barrier."""
+        api = TreadMarksApi(swdsm4.hamster)
+        dsm = swdsm4.dsm
+
+        def main(t):
+            before = dsm.stats(t.Tmk_proc_id())["barriers"]
+            if t.Tmk_proc_id() == 0:
+                t.Tmk_malloc(4096)
+            after = dsm.stats(t.Tmk_proc_id())["barriers"]
+            t.Tmk_barrier()
+            return after - before
+
+        assert api.run(main) == [0, 0, 0, 0]
+
+    def test_locks(self, swdsm4):
+        api = TreadMarksApi(swdsm4.hamster)
+
+        def main(t):
+            t.Tmk_lock_acquire(4)
+            t.Tmk_lock_release(4)
+            return t.Tmk_trylock(99)
+
+        res = api.run(main)
+        assert res.count(True) >= 1  # uncontended trylocks succeed
+
+
+class TestHlrc:
+    def test_full_surface(self, swdsm4):
+        api = HlrcApi(swdsm4.hamster)
+
+        def main(h):
+            pid = h.hlrc_init()
+            assert h.hlrc_my_pid() == pid
+            assert h.hlrc_num_procs() == 4
+            arr = h.hlrc_malloc_block((8, 512), name="b")
+            assert h.hlrc_home_of(arr, 0) == 0
+            assert h.hlrc_home_of(arr, 7) == 3
+            arr2 = h.hlrc_malloc_onhome((512,), home=2, name="oh")
+            assert h.hlrc_home_of(arr2, 0) == 2
+            h.hlrc_acquire(1)
+            arr[pid * 2, 0] = float(pid)
+            h.hlrc_release(1)
+            h.hlrc_flush()
+            h.hlrc_barrier()
+            stats = h.hlrc_stats()
+            caps = h.hlrc_capabilities()
+            h.hlrc_exit()
+            return stats["barriers"] > 0 and "home_based" in caps
+
+        assert all(api.run(main))
+
+    def test_cyclic_helper(self, swdsm4):
+        api = HlrcApi(swdsm4.hamster)
+
+        def main(h):
+            arr = h.hlrc_malloc_cyclic((8, 512), name="c")
+            return [h.hlrc_home_of(arr, i) for i in range(4)]
+
+        assert api.run(main)[0] == [0, 1, 2, 3]

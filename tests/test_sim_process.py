@@ -1,0 +1,149 @@
+"""Unit tests for thread-backed simulated processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from tests.conftest import run_procs
+
+
+class TestHold:
+    def test_hold_advances_virtual_time(self, engine):
+        stamps = []
+
+        def body(proc):
+            stamps.append(proc.now)
+            proc.hold(1.5)
+            stamps.append(proc.now)
+            proc.hold(0.5)
+            stamps.append(proc.now)
+
+        run_procs(engine, body)
+        assert stamps == [0.0, 1.5, 2.0]
+
+    def test_zero_and_negative_hold_are_noops(self, engine):
+        def body(proc):
+            proc.hold(0.0)
+            proc.hold(-1.0)
+            return proc.now
+
+        assert run_procs(engine, body) == [0.0]
+
+    def test_holds_interleave_across_processes(self, engine):
+        order = []
+
+        def a(proc):
+            proc.hold(1.0)
+            order.append("a@1")
+            proc.hold(2.0)
+            order.append("a@3")
+
+        def b(proc):
+            proc.hold(2.0)
+            order.append("b@2")
+
+        run_procs(engine, a, b)
+        assert order == ["a@1", "b@2", "a@3"]
+
+
+class TestSuspendWake:
+    def test_suspend_until_woken(self, engine):
+        def sleeper(proc):
+            proc.suspend()
+            return proc.now
+
+        def waker(proc, target):
+            proc.hold(3.0)
+            target.wake()
+
+        s = SimProcess(engine, sleeper, name="s").start()
+        SimProcess(engine, waker, args=(s,), name="w").start()
+        engine.run()
+        assert s.result == 3.0
+
+    def test_wake_with_delay(self, engine):
+        def sleeper(proc):
+            proc.suspend()
+            return proc.now
+
+        s = SimProcess(engine, sleeper).start()
+
+        def waker(proc, target):
+            target.wake(delay=2.0)
+
+        SimProcess(engine, waker, args=(s,)).start()
+        engine.run()
+        assert s.result == 2.0
+
+
+class TestJoin:
+    def test_join_returns_result(self, engine):
+        def worker(proc):
+            proc.hold(1.0)
+            return "payload"
+
+        w = SimProcess(engine, worker).start()
+
+        def joiner(proc):
+            return proc.join(w)
+
+        j = SimProcess(engine, joiner).start()
+        engine.run()
+        assert j.result == "payload"
+
+    def test_join_already_dead_process(self, engine):
+        def worker(proc):
+            return 7
+
+        w = SimProcess(engine, worker).start()
+
+        def joiner(proc):
+            proc.hold(5.0)  # worker long dead by now
+            return proc.join(w)
+
+        j = SimProcess(engine, joiner).start()
+        engine.run()
+        assert j.result == 7
+
+    def test_multiple_joiners_all_wake(self, engine):
+        def worker(proc):
+            proc.hold(1.0)
+            return "x"
+
+        w = SimProcess(engine, worker).start()
+        results = run_procs(engine, *([lambda proc: proc.join(w)] * 3))
+        assert results == ["x", "x", "x"]
+
+    def test_self_join_rejected(self, engine):
+        def body(proc):
+            with pytest.raises(SimulationError):
+                proc.join(proc)
+
+        run_procs(engine, body)
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, engine):
+        p = SimProcess(engine, lambda proc: None)
+        p.start()
+        with pytest.raises(SimulationError):
+            p.start()
+        engine.run()
+
+    def test_delayed_start(self, engine):
+        def body(proc):
+            return proc.now
+
+        p = SimProcess(engine, body).start(delay=4.0)
+        engine.run()
+        assert p.result == 4.0
+
+    def test_alive_flag(self, engine):
+        def body(proc):
+            proc.hold(1.0)
+
+        p = SimProcess(engine, body).start()
+        assert p.alive
+        engine.run()
+        assert not p.alive

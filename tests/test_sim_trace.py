@@ -1,0 +1,74 @@
+"""Unit tests for the tracing facility."""
+
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit("x", a=1)
+        assert len(t) == 0
+
+    def test_emit_and_query(self):
+        t = Tracer()
+        t.emit("fetch", page=3)
+        t.emit("fetch", page=4)
+        t.emit("inval", page=3)
+        assert t.count("fetch") == 2
+        assert [e["page"] for e in t.of_kind("fetch")] == [3, 4]
+        assert t.matching(page=3)[0].kind == "fetch"
+
+    def test_event_get_default(self):
+        t = Tracer()
+        t.emit("k")
+        assert t.events[0].get("missing", "d") == "d"
+
+    def test_capacity_evicts_oldest(self):
+        t = Tracer(capacity=2)
+        for i in range(5):
+            t.emit("e", i=i)
+        assert [e["i"] for e in t] == [3, 4]
+
+    def test_sink_called_live(self):
+        t = Tracer()
+        seen = []
+        t.add_sink(lambda e: seen.append(e.kind))
+        t.emit("a")
+        t.emit("b")
+        assert seen == ["a", "b"]
+
+    def test_clock_binding(self):
+        engine = Engine(trace=Tracer(enabled=True))
+        engine.schedule(1.5, lambda: engine.trace.emit("tick"))
+        engine.run()
+        assert engine.trace.events[-1].time == 1.5
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit("a")
+        t.clear()
+        assert len(t) == 0
+
+
+class TestEngineTraceIntegration:
+    def test_network_send_traced(self):
+        from repro.machine.cluster import Cluster
+        from repro.msg.coalesce import MessagingFabric
+        from repro.msg.active_messages import Reply
+        from repro.sim.process import SimProcess
+
+        engine = Engine(trace=Tracer(enabled=True))
+        cl = Cluster.beowulf(engine, 2)
+        fab = MessagingFabric(cl)
+        ch = fab.channel("t")
+        ch.register_all("ping", lambda nid: (lambda msg: Reply(payload="pong")))
+
+        def client(proc):
+            return ch.rpc(0, 1, "ping")
+
+        SimProcess(engine, client).start()
+        engine.run()
+        sends = engine.trace.of_kind("net.send")
+        assert len(sends) == 2  # request + reply
+        assert sends[0]["src"] == 0 and sends[0]["dst"] == 1

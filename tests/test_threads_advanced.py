@@ -1,0 +1,179 @@
+"""Advanced thread-API behaviours: cancellation states, APCs, suspend /
+resume bookkeeping, priorities, and thread models over the composite DSM."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, preset
+from repro.models.pthreads import (PTHREAD_CANCEL_DISABLE,
+                                   PTHREAD_CANCEL_ENABLE, EINVAL,
+                                   PosixThreadsApi)
+from repro.models.win32 import (STILL_ACTIVE, WAIT_OBJECT_0, Win32ThreadsApi)
+
+
+class TestPthreadCancellation:
+    def test_cancel_disabled_thread_survives(self):
+        plat = preset("smp-2").build()
+        api = PosixThreadsApi(plat.hamster)
+
+        def main(p):
+            def body(_):
+                p.pthread_setcancelstate(PTHREAD_CANCEL_DISABLE)
+                proc = p.hamster.engine.require_process()
+                for _ in range(10):
+                    proc.hold(1e-3)
+                    p.pthread_testcancel()   # ignored while disabled
+                return "survived"
+
+            tid = p.pthread_create(body, None)
+            p.hamster.engine.require_process().hold(2e-3)
+            p.pthread_cancel(tid)
+            return p.pthread_join(tid)[1]
+
+        assert api.run(main) == "survived"
+
+    def test_setcancelstate_invalid(self):
+        plat = preset("smp-2").build()
+        api = PosixThreadsApi(plat.hamster)
+
+        def main(p):
+            return p.pthread_setcancelstate(42)
+
+        assert api.run(main) == EINVAL
+
+    def test_cancel_of_finished_thread_harmless(self):
+        plat = preset("smp-2").build()
+        api = PosixThreadsApi(plat.hamster)
+
+        def main(p):
+            tid = p.pthread_create(lambda _: "done", None)
+            p.hamster.engine.require_process().hold(1e-3)
+            assert p.pthread_cancel(tid) == 0
+            return p.pthread_join(tid)[1]
+
+        assert api.run(main) == "done"
+
+
+class TestWin32ThreadControl:
+    def test_suspend_resume_counts(self):
+        plat = preset("smp-2").build()
+        api = Win32ThreadsApi(plat.hamster)
+
+        def main(w):
+            h = w.CreateThread(lambda _: w.Sleep(5) or 1)
+            assert w.SuspendThread(h) == 0      # previous suspend count
+            assert w.ResumeThread(h) == 1       # was suspended
+            assert w.ResumeThread(h) == 0       # was not
+            w.WaitForSingleObject(h)
+            return w.GetExitCodeThread(h)
+
+        assert api.run(main) == 1
+
+    def test_priority_roundtrip(self):
+        plat = preset("smp-2").build()
+        api = Win32ThreadsApi(plat.hamster)
+
+        def main(w):
+            h = w.CreateThread(lambda _: w.Sleep(1))
+            assert w.SetThreadPriority(h, 2)
+            level = w.GetThreadPriority(h)
+            w.WaitForSingleObject(h)
+            return level
+
+        assert api.run(main) == 2
+
+    def test_queue_user_apc_runs_on_target_rank(self):
+        plat = preset("sw-dsm-4").build()
+        api = Win32ThreadsApi(plat.hamster)
+        dsm = plat.dsm
+        where = []
+
+        def main(w):
+            h = w.CreateRemoteThread(2, lambda _: w.Sleep(10))
+            assert w.QueueUserAPC(lambda arg: where.append(dsm.current_rank()),
+                                  h, None)
+            w.WaitForSingleObject(h)
+            return True
+
+        assert api.run(main)
+        assert where == [2]
+
+    def test_terminate_thread_marks_exit_code(self):
+        plat = preset("smp-2").build()
+        api = Win32ThreadsApi(plat.hamster)
+
+        def main(w):
+            h = w.CreateThread(lambda _: w.Sleep(60_000))  # long sleeper
+            assert w.TerminateThread(h, exit_code=99)
+            return w.GetExitCodeThread(h)
+
+        assert api.run(main) == 99
+
+    def test_closed_handle_rejected(self):
+        from repro.errors import ModelError
+
+        plat = preset("smp-2").build()
+        api = Win32ThreadsApi(plat.hamster)
+
+        def main(w):
+            m = w.CreateMutex()
+            w.CloseHandle(m)
+            with pytest.raises(ModelError):
+                w.WaitForSingleObject(m)
+            return True
+
+        assert api.run(main)
+
+    def test_handle_kind_mismatch_rejected(self):
+        from repro.errors import ModelError
+
+        plat = preset("smp-2").build()
+        api = Win32ThreadsApi(plat.hamster)
+
+        def main(w):
+            m = w.CreateMutex()
+            with pytest.raises(ModelError):
+                w.GetExitCodeThread(m)  # mutex is not a thread
+            return True
+
+        assert api.run(main)
+
+
+class TestThreadsOnComposite:
+    """Thread APIs over the multi-DSM platform: full-stack integration."""
+
+    def test_pthreads_mutex_counter_on_composite(self):
+        plat = ClusterConfig(platform="sci", dsm="composite", nodes=2).build()
+        api = PosixThreadsApi(plat.hamster)
+
+        def main(p):
+            arr = p.hamster.dsm.make_array_on("scivm", (1,), name="c")
+            arr[0] = 0.0
+            mutex = p.pthread_mutex_init()
+
+            def body(_):
+                for _ in range(3):
+                    p.pthread_mutex_lock(mutex)
+                    arr[0] = float(arr[0]) + 1.0
+                    p.pthread_mutex_unlock(mutex)
+
+            tids = [p.pthread_create(body, None) for _ in range(2)]
+            for t in tids:
+                p.pthread_join(t)
+            return float(arr[0])
+
+        assert api.run(main) == 6.0
+
+    def test_win32_events_on_composite(self):
+        plat = ClusterConfig(platform="sci", dsm="composite", nodes=2).build()
+        api = Win32ThreadsApi(plat.hamster)
+
+        def main(w):
+            ev = w.CreateEvent(manual_reset=False, initial_state=False)
+            h = w.CreateThread(lambda _: w.WaitForSingleObject(ev))
+            w.Sleep(1)
+            w.SetEvent(ev)
+            w.WaitForSingleObject(h)
+            return w.GetExitCodeThread(h)
+
+        assert api.run(main) == WAIT_OBJECT_0

@@ -1,0 +1,182 @@
+"""Tests for the §4.3 tool-support package (monitor, profile, traceview)."""
+
+import numpy as np
+import pytest
+
+from repro.config import preset
+from repro.memory.layout import single_home
+from repro.tools import (AttachedMonitor, profile_platform, summarize_trace)
+from tests.conftest import spmd
+
+
+def run_workload(plat):
+    def main(env):
+        A = env.alloc_array((1024,), name="A", distribution=single_home(0))
+        env.barrier()
+        if env.rank != 0:
+            A[0:64] = float(env.rank)
+        env.barrier()
+        for _ in range(3):
+            env.lock(1)
+            A[0] = float(A[0]) + 1.0
+            env.unlock(1)
+        env.barrier()
+        return float(A[0])
+
+    return spmd(plat, main)
+
+
+class TestAttachedMonitor:
+    def test_live_events_captured(self):
+        plat = preset("sw-dsm-2").build()
+        mon = AttachedMonitor(plat).attach()
+        run_workload(plat)
+        assert mon.timeline("sync", "barriers")
+        assert mon.peak("sync", "barriers") >= 3
+        assert mon.timeline("sync", "lock_acquires")
+
+    def test_periodic_sampling(self):
+        plat = preset("sw-dsm-2").build()
+        mon = AttachedMonitor(plat, period=1e-3).attach()
+        run_workload(plat)
+        assert len(mon.samples) >= 1
+        assert mon.samples[0].tree["dsm"]["rank0"] is not None
+
+    def test_snapshot_on_demand(self):
+        plat = preset("smp-2").build()
+        mon = AttachedMonitor(plat).attach()
+        run_workload(plat)
+        sample = mon.snapshot()
+        assert sample.get("sync", "barriers") >= 3
+
+    def test_rate_computation(self):
+        plat = preset("sw-dsm-2").build()
+        mon = AttachedMonitor(plat).attach()
+        run_workload(plat)
+        assert mon.rate("sync", "barriers") > 0
+
+    def test_report_renders(self):
+        plat = preset("sw-dsm-2").build()
+        mon = AttachedMonitor(plat).attach()
+        run_workload(plat)
+        text = mon.report()
+        assert "sync.barriers" in text
+        assert "live events" in text
+
+    def test_attach_idempotent(self):
+        plat = preset("smp-2").build()
+        mon = AttachedMonitor(plat)
+        assert mon.attach() is mon.attach()
+
+    def test_application_untouched(self):
+        """Attaching the monitor must not change virtual results/timing."""
+        def run(with_monitor):
+            plat = preset("sw-dsm-2").build()
+            if with_monitor:
+                AttachedMonitor(plat).attach()
+            results = run_workload(plat)
+            return results, plat.engine.now
+
+        (r1, t1), (r2, t2) = run(False), run(True)
+        assert r1 == r2
+        assert t1 == t2  # counters are free; observation doesn't perturb
+
+
+class TestProfileReport:
+    def test_rank_digests(self):
+        plat = preset("sw-dsm-4").build()
+        run_workload(plat)
+        report = profile_platform(plat)
+        assert len(report.ranks) == 4
+        assert report.total_time == plat.engine.now
+        # Non-home ranks fetched and diffed.
+        assert report.rank(1).fetches >= 1
+        assert report.rank(1).diffs >= 1
+        assert report.rank(0).barriers >= 3
+
+    def test_network_and_bus_accounting(self):
+        plat = preset("sw-dsm-2").build()
+        run_workload(plat)
+        report = profile_platform(plat)
+        assert report.messages > 0
+        assert report.wire_bytes > 0
+        assert all(b >= 0 for b in report.bus_bytes.values())
+
+    def test_sync_share_bounded(self):
+        plat = preset("sw-dsm-2").build()
+        run_workload(plat)
+        report = profile_platform(plat)
+        assert 0.0 <= report.sync_share() <= 1.0
+
+    def test_hotspots_ordering(self):
+        plat = preset("sw-dsm-4").build()
+        run_workload(plat)
+        report = profile_platform(plat)
+        spots = report.hotspots(top=4)
+        work = [r.faults + r.fetches + r.diffs for r in spots]
+        assert work == sorted(work, reverse=True)
+
+    def test_render(self):
+        plat = preset("hybrid-2").build()
+        run_workload(plat)
+        text = profile_platform(plat).render()
+        assert "profile:" in text and "sync share" in text
+
+    def test_smp_profile_has_no_network(self):
+        plat = preset("smp-2").build()
+        run_workload(plat)
+        report = profile_platform(plat)
+        assert report.messages == 0
+        assert report.rank(0).faults == 0  # hardware coherence: no faults
+
+
+class TestTraceSummary:
+    def _traced_platform(self):
+        cfg = preset("sw-dsm-2")
+        cfg.trace = True
+        return cfg.build()
+
+    def test_message_histogram(self):
+        plat = self._traced_platform()
+        run_workload(plat)
+        summary = summarize_trace(plat.engine.trace)
+        assert summary.n_events > 0
+        assert summary.message_count("jiajia.") > 0
+        assert summary.message_count() >= summary.message_count("jiajia.")
+
+    def test_traffic_matrix(self):
+        plat = self._traced_platform()
+        run_workload(plat)
+        summary = summarize_trace(plat.engine.trace)
+        (src, dst), count = summary.busiest_pair()
+        assert count > 0 and src != dst
+
+    def test_fetches_and_hot_pages(self):
+        plat = self._traced_platform()
+        run_workload(plat)
+        summary = summarize_trace(plat.engine.trace)
+        assert len(summary.fetches) >= 1
+        hottest = summary.hottest_pages(1)
+        assert hottest and hottest[0][1] >= 1
+
+    def test_fetch_timeline_buckets(self):
+        plat = self._traced_platform()
+        run_workload(plat)
+        summary = summarize_trace(plat.engine.trace)
+        timeline = summary.fetch_rate_timeline(buckets=5)
+        assert len(timeline) == 5
+        assert sum(timeline) == len(summary.fetches)
+
+    def test_render(self):
+        plat = self._traced_platform()
+        run_workload(plat)
+        text = summarize_trace(plat.engine.trace).render()
+        assert "trace:" in text
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Tracer
+
+        summary = summarize_trace(Tracer())
+        assert summary.n_events == 0
+        assert summary.busiest_pair() == ((0, 0), 0)
+        assert summary.fetch_rate_timeline() == [0] * 10
