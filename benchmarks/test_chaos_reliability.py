@@ -1,0 +1,93 @@
+"""Chaos reliability — Table 1 benchmarks under seeded fault schedules.
+
+The S17 acceptance run: SOR and MatMult execute under moderate seeded loss
+(drops, duplicates, delays) and must still *verify* — the reliable
+messaging layer masks every transient fault. A mid-run node crash must
+convert into a typed ``node-failed`` outcome within the bounded heartbeat
+window — never a hang, never a silently wrong answer. Every scenario is
+re-run to prove the whole faulty execution is deterministic.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, NodeCrash, run_chaos
+
+#: (app, params) — small enough to re-run for determinism, large enough to
+#: push hundreds of messages through the fault injector.
+_WORKLOADS = [
+    ("sor", {"n": 96, "iterations": 4}),
+    ("matmult", {"n": 48}),
+]
+
+
+def _fingerprint(res):
+    return (res.outcome, res.verified, res.checksum, res.virtual_time,
+            tuple(sorted(res.faults.items())),
+            tuple(sorted(res.messaging.items())))
+
+
+@pytest.mark.parametrize("app,params", _WORKLOADS,
+                         ids=[w[0] for w in _WORKLOADS])
+def test_transient_faults_are_masked(benchmark, app, params):
+    """Seeded loss profile: run completes verified; retries did real work."""
+    plan = FaultPlan.seeded(1234)
+
+    def run():
+        return run_chaos("sw-dsm-2", app=app, app_params=params, plan=plan)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.outcome == "completed"
+    assert res.verified
+    assert res.faults["dropped"] > 0
+    assert res.messaging["retries"] > 0
+    assert res.messaging["delivery_failures"] == 0
+    benchmark.extra_info["virtual_seconds"] = res.virtual_time
+    benchmark.extra_info["faults"] = dict(res.faults)
+    print(f"\n  {app}: masked {res.faults['dropped']} drops / "
+          f"{res.faults['duplicated']} dups with "
+          f"{res.messaging['retries']} retries; virtual={res.virtual_time:.4f}s")
+
+
+@pytest.mark.parametrize("app,params", _WORKLOADS,
+                         ids=[w[0] for w in _WORKLOADS])
+def test_chaos_runs_are_deterministic(app, params):
+    """Same plan + workload twice → identical outcome, stats, and timing."""
+    plan = FaultPlan.seeded(77)
+    first = run_chaos("sw-dsm-2", app=app, app_params=params, plan=plan)
+    second = run_chaos("sw-dsm-2", app=app, app_params=params, plan=plan)
+    assert _fingerprint(first) == _fingerprint(second)
+
+
+def test_masked_run_matches_fault_free_checksum():
+    """Correctness under faults is bit-for-bit, not approximate."""
+    from repro.faults import fault_free_fingerprint
+
+    params = {"n": 96, "iterations": 4}
+    ref = fault_free_fingerprint("sw-dsm-2", "sor", params)
+    res = run_chaos("sw-dsm-2", "sor", params, plan=FaultPlan.seeded(9))
+    assert res.verified and ref["verified"]
+    assert res.checksum == ref["checksum"]
+
+
+def test_crash_is_detected_and_typed(benchmark):
+    """A mid-SOR crash becomes ``node-failed`` within the confirm window."""
+    plan = FaultPlan(seed=5, crashes=(NodeCrash(node=1, at=4e-3),))
+
+    def run():
+        return run_chaos("sw-dsm-2", "sor", {"n": 96, "iterations": 4},
+                         plan=plan)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.outcome == "node-failed"
+    assert res.detector["failed"] == [1]
+    # confirm window: crash time + confirm_after (+ slack) heartbeat periods
+    assert res.virtual_time <= 4e-3 + 10 * plan.heartbeat_interval
+    print(f"\n  crash@4ms confirmed at virtual={res.virtual_time:.4f}s")
+
+
+def test_crash_outcome_is_deterministic():
+    plan = FaultPlan(seed=5, crashes=(NodeCrash(node=1, at=4e-3),))
+    runs = [run_chaos("sw-dsm-2", "sor", {"n": 96, "iterations": 4}, plan=plan)
+            for _ in range(2)]
+    assert _fingerprint(runs[0]) == _fingerprint(runs[1])
+    assert runs[0].error == runs[1].error

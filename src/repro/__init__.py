@@ -19,8 +19,9 @@ See ``examples/quickstart.py`` and the README for the full tour.
 from repro.config import ClusterConfig, load, loads, preset
 from repro.core.hamster import Hamster
 from repro.core.templates import SpmdEnv
+from repro.faults import FaultPlan, run_chaos
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["ClusterConfig", "preset", "load", "loads", "Hamster", "SpmdEnv",
-           "__version__"]
+           "FaultPlan", "run_chaos", "__version__"]

@@ -8,6 +8,12 @@ Commands:
       python -m repro run --preset sw-dsm-4 --app sor --param n=256 \\
           --param iterations=5 --profile
 
+* ``chaos`` — run a benchmark under a seeded fault plan (S17) and print the
+  typed outcome and fault/retry/detector statistics::
+
+      python -m repro chaos --preset sw-dsm-2 --app sor --param n=128 \\
+          --fault-seed 42 --crash 1@0.003
+
 * ``platforms`` — list the named platform presets.
 * ``apps`` — list the benchmark applications and their paper working sets.
 * ``experiments`` — regenerate all tables/figures (delegates to
@@ -47,6 +53,30 @@ def _parse_param(text: str) -> tuple:
     return key.strip(), value
 
 
+def _parse_crash(text: str):
+    """NODE@AT or NODE@AT@RESTART, times in virtual seconds."""
+    from repro.faults import NodeCrash
+
+    parts = text.split("@")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"--crash expects NODE@AT[@RESTART], got {text!r}")
+    try:
+        return NodeCrash(node=int(parts[0]), at=float(parts[1]),
+                         restart=float(parts[2]) if len(parts) == 3 else None)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_fault_options(cmd) -> None:
+    fault = cmd.add_mutually_exclusive_group()
+    fault.add_argument("--fault-seed", type=int, metavar="SEED",
+                       help="inject the default seeded fault profile "
+                            "(moderate drop/dup/delay) with this seed")
+    fault.add_argument("--fault-plan", metavar="FILE",
+                       help="load a JSON fault plan (FaultPlan.dumps format)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HAMSTER reproduction driver")
@@ -68,6 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the tools.profile report after the run")
     run.add_argument("--json", metavar="PATH",
                      help="write the run result (+ profile) as JSON")
+    _add_fault_options(run)
+
+    chaos = sub.add_parser(
+        "chaos", help="run one benchmark under a seeded fault plan")
+    ctarget = chaos.add_mutually_exclusive_group()
+    ctarget.add_argument("--preset", default="sw-dsm-2",
+                         help=f"platform preset ({', '.join(sorted(PRESETS))})")
+    ctarget.add_argument("--config", help="cluster configuration file")
+    chaos.add_argument("--app", default="sor",
+                       help=f"benchmark ({', '.join(sorted(APP_TABLE))})")
+    chaos.add_argument("--param", action="append", type=_parse_param,
+                       default=[], metavar="NAME=VALUE",
+                       help="benchmark parameter override (repeatable)")
+    _add_fault_options(chaos)
+    chaos.add_argument("--drop-rate", type=float, metavar="P",
+                       help="override the plan's per-message drop probability")
+    chaos.add_argument("--crash", action="append", type=_parse_crash,
+                       default=[], metavar="NODE@AT[@RESTART]",
+                       help="crash NODE at virtual time AT seconds, "
+                            "optionally restarting at RESTART (repeatable)")
 
     sub.add_parser("platforms", help="list platform presets")
     sub.add_parser("apps", help="list benchmarks and working sets")
@@ -78,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_plan(args):
+    """Fault plan from --fault-seed / --fault-plan, or None."""
+    if getattr(args, "fault_plan", None):
+        from repro.faults import FaultPlan
+
+        return FaultPlan.load(args.fault_plan)
+    if getattr(args, "fault_seed", None) is not None:
+        from repro.faults import FaultPlan
+
+        return FaultPlan.seeded(args.fault_seed)
+    return None
+
+
 def _cmd_run(args) -> int:
     from repro.apps import get_app
     from repro.apps.common import merge_rank_results
@@ -85,6 +148,9 @@ def _cmd_run(args) -> int:
     from repro.models.native_jiajia import NativeJiaJiaApi
 
     config = load(args.config) if args.config else preset(args.preset)
+    plan = _resolve_plan(args)
+    if plan is not None:
+        config.faults = plan
     params: Dict[str, Any] = dict(args.param)
     plat = config.build()
     api = NativeJiaJiaApi(plat.hamster) if args.native else JiaJiaApi(plat.hamster)
@@ -111,6 +177,32 @@ def _cmd_run(args) -> int:
     return 0 if merged.verified else 1
 
 
+def _cmd_chaos(args) -> int:
+    import dataclasses
+
+    from repro.faults import FaultPlan, run_chaos
+
+    config = load(args.config) if args.config else preset(args.preset)
+    plan = _resolve_plan(args)
+    if plan is None:
+        plan = (FaultPlan.coerce(config.faults)
+                if config.faults is not None else FaultPlan.seeded(0))
+    if args.drop_rate is not None:
+        plan = plan.with_overrides(
+            link=dataclasses.replace(plan.link, drop_rate=args.drop_rate))
+    if args.crash:
+        plan = plan.with_overrides(crashes=plan.crashes + tuple(args.crash))
+    result = run_chaos(config, app=args.app, app_params=dict(args.param),
+                       plan=plan)
+    print(result.summary())
+    if result.outcome == "completed":
+        return 0 if result.verified else 1
+    # A typed failure is the *expected* outcome when the plan kills a node
+    # for good; only unexplained failures are an error exit.
+    return 0 if (result.outcome == "node-failed"
+                 and plan.has_permanent_crash()) else 2
+
+
 def _cmd_platforms() -> int:
     for name in sorted(PRESETS):
         cfg = PRESETS[name]
@@ -131,6 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "platforms":
         return _cmd_platforms()
     if args.command == "apps":

@@ -54,6 +54,10 @@ class ClusterConfig:
     param_overrides: Dict[str, Any] = field(default_factory=dict)
     #: enable simulation tracing
     trace: bool = False
+    #: fault plan (S17): a :class:`repro.faults.FaultPlan`, a bare seed, or
+    #: a plan dict; None (the default) leaves the network perfect and adds
+    #: zero state or cost
+    faults: Optional[Any] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -75,6 +79,10 @@ class ClusterConfig:
                 "SW-DSM and the hybrid DSM on the SAN)")
         if self.nodes < 1:
             raise ConfigurationError("need at least one node")
+        if self.faults is not None and self.platform == "smp":
+            raise ConfigurationError(
+                "fault injection needs a networked platform (the SMP bus "
+                "does not lose messages)")
 
     # ----------------------------------------------------------------- build
     def params(self) -> MachineParams:
@@ -99,9 +107,23 @@ class ClusterConfig:
             cluster = Cluster.beowulf(engine, self.nodes, params=params)
         else:
             cluster = Cluster.sci_cluster(engine, self.nodes, params=params)
+        plan = injector = None
+        if self.faults is not None:
+            from repro.faults import FaultPlan, FaultyNetwork
+
+            # Re-check here: `faults` may have been assigned after
+            # construction, bypassing __post_init__.
+            if cluster.network is None:
+                raise ConfigurationError(
+                    "fault injection needs a networked platform (the SMP "
+                    "bus does not lose messages)")
+            plan = FaultPlan.coerce(self.faults)
+            injector = FaultyNetwork(cluster.network, plan)
         fabric = None
         if cluster.network is not None:
             fabric = MessagingFabric(cluster, integrated=self.integrated_messaging)
+            if plan is not None and plan.active:
+                fabric.layer.enable_reliability()
         if self.dsm == "composite":
             from repro.dsm.composite import CompositeMemorySystem
             from repro.dsm.jiajia import JiaJiaSystem
@@ -116,8 +138,12 @@ class ClusterConfig:
             dsm = make_dsm(self.dsm, cluster, fabric=fabric, n_procs=n_ranks)
         hamster = Hamster(cluster, dsm, fabric=fabric,
                           call_overhead=self.call_overhead)
+        if plan is not None and plan.heartbeat:
+            hamster.cluster_ctl.start_failure_detection(
+                interval=plan.heartbeat_interval)
         return BuiltPlatform(config=self, engine=engine, cluster=cluster,
-                             fabric=fabric, dsm=dsm, hamster=hamster)
+                             fabric=fabric, dsm=dsm, hamster=hamster,
+                             faults=injector)
 
     # ------------------------------------------------------------------- io
     def to_text(self) -> str:
@@ -133,6 +159,14 @@ class ClusterConfig:
         if self.param_overrides:
             lines += ["", "[params]"]
             lines += [f"{k} = {v}" for k, v in sorted(self.param_overrides.items())]
+        if self.faults is not None:
+            import json as _json
+
+            from repro.faults import FaultPlan
+
+            plan = FaultPlan.coerce(self.faults)
+            lines += ["", "[faults]",
+                      f"plan = {_json.dumps(plan.to_dict(), sort_keys=True)}"]
         return "\n".join(lines) + "\n"
 
 
@@ -146,6 +180,8 @@ class BuiltPlatform:
     fabric: Any
     dsm: Any
     hamster: Any
+    #: the installed :class:`repro.faults.FaultyNetwork`, or None
+    faults: Any = None
 
 
 def loads(text: str) -> ClusterConfig:
@@ -189,10 +225,36 @@ def loads(text: str) -> ClusterConfig:
             overrides[key] = int(val)
         else:
             overrides[key] = float(val)
+    faults = _parse_faults(values)
     return ClusterConfig(platform=platform, dsm=dsm, nodes=nodes,
                          ranks=int(ranks_s) if ranks_s else None,
                          integrated_messaging=(messaging == "integrated"),
-                         param_overrides=overrides)
+                         param_overrides=overrides, faults=faults)
+
+
+def _parse_faults(values: Dict[Tuple[str, str], str]) -> Optional[Any]:
+    """Build a fault plan from a ``[faults]`` section: either one ``plan``
+    key holding the JSON form, or flat seed/rate/heartbeat keys."""
+    items = {key: val for (sec, key), val in values.items() if sec == "faults"}
+    if not items:
+        return None
+    from repro.faults import FaultPlan, LinkFaults
+
+    if "plan" in items:
+        if len(items) > 1:
+            raise ConfigurationError(
+                "[faults] 'plan' cannot be combined with other keys")
+        return FaultPlan.loads(items["plan"])
+    link_keys = {"drop_rate", "dup_rate", "delay_rate", "delay_min", "delay_max"}
+    plan_keys = {"seed", "heartbeat", "heartbeat_interval"}
+    unknown = set(items) - link_keys - plan_keys
+    if unknown:
+        raise ConfigurationError(f"unknown [faults] keys {sorted(unknown)}")
+    link = LinkFaults(**{k: float(v) for k, v in items.items() if k in link_keys})
+    return FaultPlan(
+        seed=int(items.get("seed", "0")), link=link,
+        heartbeat=items.get("heartbeat", "true").lower() in ("1", "true", "yes", "on"),
+        heartbeat_interval=float(items.get("heartbeat_interval", "2e-3")))
 
 
 def load(path: str) -> ClusterConfig:

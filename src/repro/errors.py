@@ -64,6 +64,37 @@ class MessagingError(HamsterError):
     """Raised for messaging-layer failures (unknown handler, bad node)."""
 
 
+#: Keep a handle on the builtin before we shadow it below, so our timeout
+#: error also answers ``except TimeoutError`` written against the builtin.
+_BuiltinTimeoutError = TimeoutError
+
+
+class TimeoutError(MessagingError, _BuiltinTimeoutError):  # noqa: A001
+    """Raised when a reliable message exhausts its retransmission budget
+    without being acknowledged (see :mod:`repro.faults`). Also a subclass of
+    the builtin ``TimeoutError`` for idiomatic ``except`` clauses."""
+
+
+class NodeFailedError(MessagingError):
+    """Raised when the failure detector confirms a node dead, or when a
+    message is addressed to a node already confirmed dead.
+
+    Carries ``node_id`` (the failed node) and ``detected_at`` (the virtual
+    time of confirmation, when known).
+    """
+
+    def __init__(self, node_id: int, detail: str = "",
+                 detected_at: "float | None" = None) -> None:
+        msg = f"node {node_id} failed"
+        if detected_at is not None:
+            msg += f" (confirmed at t={detected_at:.6f}s)"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.node_id = node_id
+        self.detected_at = detected_at
+
+
 class ModelError(HamsterError):
     """Raised by programming-model layers for API misuse, mirroring the
     error codes the native APIs would return."""

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulated cluster (S17).
+
+The paper's evaluation assumes a healthy cluster; this subsystem makes the
+*unhealthy* cases reachable — and reproducible. Three pieces:
+
+* :mod:`repro.faults.plan` — a :class:`FaultPlan` is a seeded, declarative
+  specification of fault events: per-message link faults (drop / duplicate /
+  delay), transient partitions, and node crashes with optional restart.
+  Pure data; serializable; composes with any cluster preset via the
+  ``faults=`` field of :class:`repro.config.ClusterConfig`.
+* :mod:`repro.faults.inject` — :class:`FaultyNetwork` decorates a built
+  network's ``send`` method, so the Ethernet and SCI interconnect models
+  (and any future :class:`~repro.machine.interconnect.Network` subclass)
+  inherit injection without modification. All random decisions come from
+  the plan's seed, drawn in deterministic event order.
+* :mod:`repro.faults.chaos` — a harness that runs a Table 1 benchmark under
+  a fault plan and reports a typed outcome (completed / node-failed /
+  timeout) plus fault, retry, and detector statistics.
+
+Reliability mechanisms that *mask* injected faults live with the layers
+they harden: acknowledged/retried messaging in
+:mod:`repro.msg.active_messages`, heartbeat failure detection in
+:mod:`repro.core.cluster_ctrl`. With no plan configured none of this is
+active and the simulator behaves bit-identically to the fault-free system.
+"""
+
+from repro.faults.chaos import ChaosResult, fault_free_fingerprint, run_chaos
+from repro.faults.inject import FaultyNetwork
+from repro.faults.plan import FaultPlan, LinkFaults, NodeCrash, Partition
+
+__all__ = ["FaultPlan", "LinkFaults", "NodeCrash", "Partition",
+           "FaultyNetwork", "ChaosResult", "run_chaos",
+           "fault_free_fingerprint"]

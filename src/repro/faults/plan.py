@@ -1,0 +1,239 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` describes *what can go wrong* during one simulated run:
+
+* :class:`LinkFaults` — per-message probabilities for dropping, duplicating,
+  and delaying traffic on every link;
+* :class:`Partition` — a virtual-time window during which listed node
+  groups cannot exchange messages (nodes not named form one implicit
+  extra group);
+* :class:`NodeCrash` — a node goes silent at ``at`` and (optionally)
+  returns at ``restart``.
+
+The plan itself is pure data: frozen, hashable, JSON-round-trippable.
+Randomness enters only through ``seed`` — the injection layer
+(:class:`repro.faults.inject.FaultyNetwork`) derives its PRNG streams from
+it and consumes draws in deterministic event order, so the same plan on the
+same workload produces the same faults, message ids, and event trace every
+time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinkFaults", "Partition", "NodeCrash", "FaultPlan"]
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-message fault probabilities applied to every link."""
+
+    #: probability a message silently vanishes on the wire
+    drop_rate: float = 0.0
+    #: probability a message is delivered twice (same ``msg_id``)
+    dup_rate: float = 0.0
+    #: probability a message is held back by an extra random delay
+    delay_rate: float = 0.0
+    #: extra-delay bounds in virtual seconds (uniform draw); enough jitter
+    #: relative to the wire latency reorders messages on the same link
+    delay_min: float = 0.0
+    delay_max: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("dup_rate", self.dup_rate)
+        _check_rate("delay_rate", self.delay_rate)
+        if self.delay_min < 0 or self.delay_max < self.delay_min:
+            raise ConfigurationError(
+                f"need 0 <= delay_min <= delay_max, got "
+                f"[{self.delay_min}, {self.delay_max}]")
+
+    @property
+    def active(self) -> bool:
+        return (self.drop_rate > 0 or self.dup_rate > 0
+                or self.delay_rate > 0)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Transient network partition over ``[start, end)``.
+
+    ``groups`` are disjoint node sets; messages between different groups
+    (or between a listed group and unlisted nodes) are dropped while the
+    window is open. Traffic *within* a group still flows.
+    """
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"partition window [{self.start}, {self.end}) is empty")
+        seen: set = set()
+        norm = tuple(tuple(sorted(g)) for g in self.groups)
+        for g in norm:
+            if seen & set(g):
+                raise ConfigurationError("partition groups must be disjoint")
+            seen |= set(g)
+        object.__setattr__(self, "groups", norm)
+
+    def _group_of(self, node: int) -> int:
+        for i, g in enumerate(self.groups):
+            if node in g:
+                return i
+        return -1  # implicit group of unlisted nodes
+
+    def separates(self, src: int, dst: int, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        return self._group_of(src) != self._group_of(dst)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` is down over ``[at, restart)`` (forever if ``restart``
+    is ``None``): it neither sends nor receives any message."""
+
+    node: int
+    at: float
+    restart: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.restart is not None and self.restart <= self.at:
+            raise ConfigurationError(
+                f"node {self.node}: restart ({self.restart}) must come "
+                f"after the crash ({self.at})")
+
+    def down(self, now: float) -> bool:
+        return self.at <= now and (self.restart is None or now < self.restart)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded schedule of faults for one simulated run."""
+
+    seed: int = 0
+    link: LinkFaults = field(default_factory=LinkFaults)
+    partitions: Tuple[Partition, ...] = ()
+    crashes: Tuple[NodeCrash, ...] = ()
+    #: start the heartbeat failure detector when the platform is built
+    heartbeat: bool = True
+    #: heartbeat period in virtual seconds
+    heartbeat_interval: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be positive")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------- queries
+    def node_down(self, node: int, now: float) -> bool:
+        return any(c.node == node and c.down(now) for c in self.crashes)
+
+    def partitioned(self, src: int, dst: int, now: float) -> bool:
+        return any(p.separates(src, dst, now) for p in self.partitions)
+
+    def has_permanent_crash(self) -> bool:
+        return any(c.restart is None for c in self.crashes)
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can affect any message at all."""
+        return bool(self.link.active or self.partitions or self.crashes)
+
+    # -------------------------------------------------------- construction
+    @classmethod
+    def seeded(cls, seed: int, drop_rate: float = 0.10, dup_rate: float = 0.03,
+               delay_rate: float = 0.10, delay_max: float = 300e-6,
+               **kw: Any) -> "FaultPlan":
+        """The default chaos profile: moderate loss, duplication, and jitter
+        — enough to exercise every retry/dedup path while staying well
+        inside what bounded retries mask."""
+        return cls(seed=seed,
+                   link=LinkFaults(drop_rate=drop_rate, dup_rate=dup_rate,
+                                   delay_rate=delay_rate,
+                                   delay_max=delay_max),
+                   **kw)
+
+    @classmethod
+    def coerce(cls, value: Union["FaultPlan", int, Dict[str, Any]]) -> "FaultPlan":
+        """Accept the shapes a config file or preset may carry: a plan, a
+        bare seed (→ :meth:`seeded`), or a :meth:`to_dict` mapping."""
+        if isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, bool):
+            raise ConfigurationError("faults must be a plan, seed, or dict")
+        if isinstance(value, int):
+            return cls.seeded(value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise ConfigurationError(
+            f"cannot build a FaultPlan from {type(value).__name__}")
+
+    def with_overrides(self, **kw: Any) -> "FaultPlan":
+        return replace(self, **kw)
+
+    # ------------------------------------------------------------------ io
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["partitions"] = [{"start": p.start, "end": p.end,
+                            "groups": [list(g) for g in p.groups]}
+                           for p in self.partitions]
+        d["crashes"] = [asdict(c) for c in self.crashes]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultPlan":
+        known = {"seed", "link", "partitions", "crashes", "heartbeat",
+                 "heartbeat_interval"}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault-plan keys {sorted(unknown)}")
+        link = d.get("link", {})
+        if isinstance(link, dict):
+            link = LinkFaults(**link)
+        partitions = tuple(
+            p if isinstance(p, Partition) else Partition(
+                start=p["start"], end=p["end"],
+                groups=tuple(tuple(g) for g in p["groups"]))
+            for p in d.get("partitions", ()))
+        crashes = tuple(
+            c if isinstance(c, NodeCrash) else NodeCrash(**c)
+            for c in d.get("crashes", ()))
+        return cls(seed=int(d.get("seed", 0)), link=link,
+                   partitions=partitions, crashes=crashes,
+                   heartbeat=bool(d.get("heartbeat", True)),
+                   heartbeat_interval=float(d.get("heartbeat_interval", 2e-3)))
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault-plan JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.loads(fh.read())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan: {exc}") from None

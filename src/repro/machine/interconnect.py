@@ -16,14 +16,12 @@ the network models only wire/NIC behaviour.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import MessagingError
 
 __all__ = ["Message", "Network"]
-
-_msg_ids = itertools.count(1)
 
 
 @dataclass
@@ -34,6 +32,12 @@ class Message:
     protocol data — diffs, pages, write notices — not placeholders);
     ``size`` is the number of bytes this message would occupy on the wire
     and is what the cost model uses.
+
+    ``msg_id`` is assigned by the :class:`Network` that first transmits the
+    message (per-network counters, so ids are reproducible per simulation
+    and never leak across independently built clusters). A retransmission
+    keeps its original id — that is what receiver-side duplicate
+    suppression keys on.
     """
 
     src: int
@@ -41,7 +45,7 @@ class Message:
     kind: str
     size: int
     payload: Any = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: Optional[int] = None
     send_time: float = 0.0
     recv_time: float = 0.0
     #: RPC bookkeeping (used by the active-message layer): token of the
@@ -65,6 +69,10 @@ class Network:
         self.n_nodes = n_nodes
         self._nic_free_at = [0.0] * n_nodes
         self._delivery: Dict[int, Callable[[Message], None]] = {}
+        # Per-network id counter: message ids are deterministic within one
+        # simulation and independent of any other cluster ever built in the
+        # same interpreter (reproducible traces regardless of test order).
+        self._msg_ids = itertools.count(1)
         # ------------------------------------------------- statistics
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -79,6 +87,12 @@ class Network:
         if not (0 <= node_id < self.n_nodes):
             raise MessagingError(f"node id {node_id} out of range [0, {self.n_nodes})")
 
+    def assign_id(self, msg: Message) -> None:
+        """Give ``msg`` its wire id on first transmission (idempotent, so a
+        retransmission keeps the original id)."""
+        if msg.msg_id is None:
+            msg.msg_id = next(self._msg_ids)
+
     # ----------------------------------------------------------------- send
     def send(self, msg: Message) -> None:
         """Transmit ``msg``; non-blocking for the caller.
@@ -91,6 +105,7 @@ class Network:
         self._check_node(msg.dst)
         if msg.dst not in self._delivery:
             raise MessagingError(f"no delivery callback registered for node {msg.dst}")
+        self.assign_id(msg)
         now = self.engine.now
         msg.send_time = now
         wire_bytes = msg.size + self.framing_bytes
@@ -107,7 +122,8 @@ class Network:
 
         self.engine.schedule(arrive - now, deliver)
         self.engine.trace.emit("net.send", src=msg.src, dst=msg.dst,
-                               msg_kind=msg.kind, size=msg.size, arrive=arrive)
+                               msg_kind=msg.kind, size=msg.size, arrive=arrive,
+                               msg_id=msg.msg_id)
 
     # ------------------------------------------------------------ overheads
     def sender_cpu_overhead(self) -> float:

@@ -18,23 +18,76 @@ Two interaction styles:
 Per-message *software stack* cost is a constructor parameter: the coalesced
 HAMSTER channel is cheaper per message than a stand-alone DSM stack
 (§3.3 / :mod:`repro.msg.coalesce`).
+
+Reliable mode
+-------------
+
+By default the layer assumes a perfect network (the paper's setting) and
+adds **zero** cost or state. When a fault plan is active
+(:mod:`repro.faults`), :meth:`ActiveMessageLayer.enable_reliability` arms an
+acknowledged-datagram sublayer:
+
+* every request, reply, and one-way post is tracked by the sender and
+  retransmitted on a virtual-time timeout with exponential backoff, up to
+  :class:`RetryPolicy` limits — then a typed
+  :class:`~repro.errors.TimeoutError` surfaces (never a hang into
+  ``DeadlockError``);
+* receivers acknowledge every message and suppress duplicates by
+  ``msg_id`` (retransmissions and wire duplicates alike), so handlers run
+  exactly once;
+* the failure detector (:mod:`repro.core.cluster_ctrl`) marks confirmed
+  dead nodes via :meth:`ActiveMessageLayer.mark_node_failed`: their pending
+  RPCs fail with :class:`~repro.errors.NodeFailedError` and new traffic to
+  them is refused immediately.
+
+Retransmission timers are engine events, not process activity — a server
+handler that defers a reply blocks nothing, and the caller keeps waiting
+(correct for contended-lock RPCs) as long as delivery itself is confirmed.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Set
 
-from repro.errors import MessagingError
+from repro.errors import MessagingError, NodeFailedError, TimeoutError
 from repro.machine.interconnect import Message, Network
 from repro.sim.process import SimProcess
 from repro.sim.resources import SimQueue
 
-__all__ = ["Reply", "Handler", "ActiveMessageLayer"]
+__all__ = ["Reply", "Handler", "RetryPolicy", "ActiveMessageLayer"]
 
 #: Fixed size of the active-message header on the wire.
 AM_HEADER_BYTES = 32
+
+#: Reserved kind for delivery acknowledgements (reliable mode only).
+ACK_KIND = "__ack__"
+#: Wire size of an ack (tiny control frame; header only).
+ACK_WIRE_BYTES = 16
+#: Per-node bound on the duplicate-suppression window.
+SEEN_WINDOW = 8192
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission parameters for reliable mode (virtual seconds)."""
+
+    #: first retransmission timeout — a few Ethernet round trips
+    timeout: float = 600e-6
+    #: retransmissions before giving up with :class:`TimeoutError`
+    max_retries: int = 10
+    #: timeout multiplier per attempt
+    backoff: float = 2.0
+
+    def span(self) -> float:
+        """Total virtual time covered before delivery is declared failed."""
+        total, t = 0.0, self.timeout
+        for _ in range(self.max_retries + 1):
+            total += t
+            t *= self.backoff
+        return total
 
 
 @dataclass
@@ -53,12 +106,26 @@ Handler = Callable[[Message], Optional[Reply]]
 class _PendingCall:
     """Sender-side state of one in-flight RPC."""
 
-    __slots__ = ("caller", "result", "done")
+    __slots__ = ("caller", "result", "done", "dst", "req_id", "failed")
 
-    def __init__(self, caller: SimProcess) -> None:
+    def __init__(self, caller: SimProcess, dst: int = -1) -> None:
         self.caller = caller
         self.result: Any = None
         self.done = False
+        self.dst = dst
+        self.req_id: Optional[int] = None
+        self.failed: Optional[BaseException] = None
+
+
+class _Outstanding:
+    """Sender-side state of one unacknowledged reliable message."""
+
+    __slots__ = ("msg", "attempts", "timeout")
+
+    def __init__(self, msg: Message, timeout: float) -> None:
+        self.msg = msg
+        self.attempts = 0
+        self.timeout = timeout
 
 
 class ActiveMessageLayer:
@@ -85,9 +152,21 @@ class ActiveMessageLayer:
         # channel (native DSM deployment) coexist with the cheaper coalesced
         # HAMSTER channel on the same wire (see repro.msg.coalesce).
         self._channel_overhead: Dict[str, float] = {}
+        # ------------------------------------------------ reliable mode
+        # None -> perfect-network fast path: no acks, no timers, no state.
+        self._reliable: Optional[RetryPolicy] = None
+        self._outstanding: Dict[int, _Outstanding] = {}
+        self._on_fail: Dict[int, Callable[[BaseException], None]] = {}
+        self._seen: Dict[int, Set[int]] = {}
+        self._seen_order: Dict[int, Deque[int]] = {}
+        self._dead: Set[int] = set()
         # ---------------------------------------------------- statistics
         self.posts = 0
         self.rpcs = 0
+        self.retries = 0
+        self.acks_sent = 0
+        self.dups_suppressed = 0
+        self.delivery_failures = 0
         for node_id in range(cluster.n_nodes):
             self._start_server(node_id)
 
@@ -105,9 +184,16 @@ class ActiveMessageLayer:
         node = self.cluster.node(node_id)
         while True:
             msg = q.get()
+            if msg.kind == ACK_KIND:
+                # Pure control frame: cancels the retransmission timer.
+                self._outstanding.pop(msg.payload, None)
+                self._on_fail.pop(msg.payload, None)
+                continue
             # Receiver-side software cost: NIC/stack + AM dispatch.
             node.cpu_time(self.network.receiver_cpu_overhead()
                           + self._overhead_for(msg.kind))
+            if self._reliable is not None and not self._accept(node_id, msg):
+                continue  # duplicate: acked again above, handler skipped
             if msg.is_reply:
                 self._complete_rpc(msg)
                 continue
@@ -122,7 +208,13 @@ class ActiveMessageLayer:
     def _complete_rpc(self, msg: Message) -> None:
         call = self._pending.pop(msg.rpc_token, None)
         if call is None:
+            if self._reliable is not None:
+                return  # duplicate reply that slipped past dedup: harmless
             raise MessagingError(f"reply for unknown rpc token {msg.rpc_token}")
+        if call.req_id is not None:
+            # A reply is an implicit ack of the request it answers.
+            self._outstanding.pop(call.req_id, None)
+            self._on_fail.pop(call.req_id, None)
         call.result = msg.payload
         call.done = True
         call.caller.wake()
@@ -158,26 +250,45 @@ class ActiveMessageLayer:
     def post(self, src: int, dst: int, kind: str, payload: Any = None,
              size: int = 0) -> None:
         """One-way active message from ``src`` to ``dst``."""
+        self._check_dead(dst)
         self.posts += 1
         self._charge_send(src, kind)
-        self.network.send(Message(src=src, dst=dst, kind=kind,
-                                  size=size + AM_HEADER_BYTES, payload=payload))
+        msg = Message(src=src, dst=dst, kind=kind,
+                      size=size + AM_HEADER_BYTES, payload=payload)
+        self.network.send(msg)
+        if self._reliable is not None:
+            # An undeliverable one-way message means protocol state is lost
+            # for good: abort the run with a typed error, never corrupt.
+            self._track(msg, self.engine._report_exception)
 
     def rpc(self, src: int, dst: int, kind: str, payload: Any = None,
             size: int = 0) -> Any:
         """Request/reply; blocks the calling process until the handler at
         ``dst`` answers. Returns the reply payload."""
         caller = self.engine.require_process()
+        self._check_dead(dst)
         token = next(self._tokens)
-        call = _PendingCall(caller)
+        call = _PendingCall(caller, dst=dst)
         self._pending[token] = call
         self.rpcs += 1
         self._charge_send(src, kind)
-        self.network.send(Message(src=src, dst=dst, kind=kind,
-                                  size=size + AM_HEADER_BYTES, payload=payload,
-                                  rpc_token=token))
-        while not call.done:
+        msg = Message(src=src, dst=dst, kind=kind,
+                      size=size + AM_HEADER_BYTES, payload=payload,
+                      rpc_token=token)
+        self.network.send(msg)
+        if self._reliable is not None:
+            call.req_id = msg.msg_id
+
+            def fail(exc: BaseException) -> None:
+                call.failed = exc
+                self._pending.pop(token, None)
+                call.caller.wake()
+
+            self._track(msg, fail)
+        while not call.done and call.failed is None:
             caller.suspend()
+        if call.failed is not None:
+            raise call.failed
         return call.result
 
     def reply(self, request: Message, payload: Any = None, size: int = 0) -> None:
@@ -186,6 +297,107 @@ class ActiveMessageLayer:
         if request.rpc_token is None:
             raise MessagingError("reply() to a message that is not an rpc")
         self._charge_send(request.dst, request.kind)
-        self.network.send(Message(src=request.dst, dst=request.src, kind="__reply__",
-                                  size=size + AM_HEADER_BYTES, payload=payload,
-                                  rpc_token=request.rpc_token, is_reply=True))
+        msg = Message(src=request.dst, dst=request.src, kind="__reply__",
+                      size=size + AM_HEADER_BYTES, payload=payload,
+                      rpc_token=request.rpc_token, is_reply=True)
+        self.network.send(msg)
+        if self._reliable is not None and request.src not in self._dead:
+            self._track(msg, self.engine._report_exception)
+
+    # ------------------------------------------------------- reliable mode
+    @property
+    def reliable(self) -> bool:
+        return self._reliable is not None
+
+    def enable_reliability(self, policy: Optional[RetryPolicy] = None) -> RetryPolicy:
+        """Arm acknowledged delivery, retransmission, and duplicate
+        suppression. Idempotent; returns the active policy."""
+        if self._reliable is None:
+            self._reliable = policy if policy is not None else RetryPolicy()
+        return self._reliable
+
+    def _check_dead(self, dst: int) -> None:
+        if self._reliable is not None and dst in self._dead:
+            raise NodeFailedError(dst, "refusing to message a failed node")
+
+    def mark_node_failed(self, node: int,
+                         exc: Optional[BaseException] = None) -> None:
+        """Failure-detector hook: declare ``node`` dead. Pending RPCs to it
+        fail with :class:`NodeFailedError`; retransmissions to it stop; new
+        traffic to it is refused at the send site."""
+        if node in self._dead:
+            return
+        self._dead.add(node)
+        for msg_id, rec in list(self._outstanding.items()):
+            if rec.msg.dst == node:
+                self._outstanding.pop(msg_id, None)
+                self._on_fail.pop(msg_id, None)
+        failure = exc if exc is not None else NodeFailedError(node)
+        for token, call in list(self._pending.items()):
+            if call.dst == node:
+                self._pending.pop(token, None)
+                call.failed = failure
+                call.caller.wake()
+
+    def failed_nodes(self) -> Set[int]:
+        return set(self._dead)
+
+    def _track(self, msg: Message, on_fail: Callable[[BaseException], None]) -> None:
+        """Register ``msg`` for retransmission until acked (engine-event
+        driven — never blocks the sending process)."""
+        assert msg.msg_id is not None
+        policy = self._reliable
+        rec = _Outstanding(msg, policy.timeout)
+        self._outstanding[msg.msg_id] = rec
+        self._on_fail[msg.msg_id] = on_fail
+        self.engine.schedule(rec.timeout,
+                             lambda mid=msg.msg_id: self._retransmit(mid))
+
+    def _retransmit(self, msg_id: int) -> None:
+        rec = self._outstanding.get(msg_id)
+        if rec is None:
+            return  # acked (or cancelled) in the meantime
+        policy = self._reliable
+        if rec.msg.dst in self._dead:
+            self._outstanding.pop(msg_id, None)
+            self._on_fail.pop(msg_id, None)
+            return  # mark_node_failed already surfaced the failure
+        if rec.attempts >= policy.max_retries:
+            self._outstanding.pop(msg_id, None)
+            on_fail = self._on_fail.pop(msg_id)
+            self.delivery_failures += 1
+            self.engine.trace.emit("am.giveup", msg_kind=rec.msg.kind,
+                                   dst=rec.msg.dst, msg_id=msg_id,
+                                   attempts=rec.attempts)
+            on_fail(TimeoutError(
+                f"message {rec.msg.kind!r} to node {rec.msg.dst} undelivered "
+                f"after {rec.attempts + 1} attempts"))
+            return
+        rec.attempts += 1
+        rec.timeout *= policy.backoff
+        self.retries += 1
+        self.engine.trace.emit("am.retry", msg_kind=rec.msg.kind,
+                               dst=rec.msg.dst, msg_id=msg_id,
+                               attempt=rec.attempts)
+        self.network.send(rec.msg)
+        self.engine.schedule(rec.timeout,
+                             lambda mid=msg_id: self._retransmit(mid))
+
+    def _accept(self, node_id: int, msg: Message) -> bool:
+        """Ack ``msg`` and decide whether its handler should run (False for
+        duplicates — retransmissions and wire dups alike)."""
+        self.acks_sent += 1
+        self.network.send(Message(src=node_id, dst=msg.src, kind=ACK_KIND,
+                                  size=ACK_WIRE_BYTES, payload=msg.msg_id))
+        seen = self._seen.setdefault(node_id, set())
+        if msg.msg_id in seen:
+            self.dups_suppressed += 1
+            self.engine.trace.emit("am.dup", node=node_id, msg_kind=msg.kind,
+                                   msg_id=msg.msg_id)
+            return False
+        seen.add(msg.msg_id)
+        order = self._seen_order.setdefault(node_id, deque())
+        order.append(msg.msg_id)
+        if len(order) > SEEN_WINDOW:
+            seen.discard(order.popleft())
+        return True

@@ -14,7 +14,7 @@ from tests.conftest import spmd
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_exports(self):
         for name in repro.__all__:
