@@ -14,6 +14,13 @@ Commands:
       python -m repro chaos --preset sw-dsm-2 --app sor --param n=128 \\
           --fault-seed 42 --crash 1@0.003
 
+* ``trace`` — run a benchmark with observability on, print the critical-path
+  report, and optionally export a Perfetto-loadable Chrome trace; or, with
+  ``--validate FILE``, schema-check a previously exported trace::
+
+      python -m repro trace --preset sw-dsm-4 --app sor --param n=128 \\
+          --trace-out sor.trace.json
+
 * ``platforms`` — list the named platform presets.
 * ``apps`` — list the benchmark applications and their paper working sets.
 * ``experiments`` — regenerate all tables/figures (delegates to
@@ -77,6 +84,47 @@ def _add_fault_options(cmd) -> None:
                        help="load a JSON fault plan (FaultPlan.dumps format)")
 
 
+def _add_obs_options(cmd) -> None:
+    cmd.add_argument("--trace-out", metavar="FILE",
+                     help="record causal spans and export them as Chrome "
+                          "trace_event JSON (load in Perfetto/about:tracing)")
+    cmd.add_argument("--metrics-interval", type=float, metavar="SECONDS",
+                     help="sample time-series metrics every SECONDS of "
+                          "virtual time")
+    cmd.add_argument("--metrics-out", metavar="FILE",
+                     help="write sampled metrics (.csv, or JSON otherwise); "
+                          "requires --metrics-interval")
+
+
+def _apply_obs(config, args) -> None:
+    """Fold the observability flags into the cluster config."""
+    if getattr(args, "metrics_out", None) and args.metrics_interval is None:
+        raise SystemExit("--metrics-out requires --metrics-interval")
+    if getattr(args, "trace_out", None):
+        config.observe = True
+    if getattr(args, "metrics_interval", None) is not None:
+        config.metrics_interval = args.metrics_interval
+
+
+def _export_obs(plat, args) -> None:
+    """Write the requested trace/metrics files after a run."""
+    from repro.tools.export import write_text
+
+    if getattr(args, "trace_out", None):
+        from repro.obs import chrome_trace_json
+
+        write_text(args.trace_out, chrome_trace_json(
+            plat.obs, metrics=plat.metrics,
+            platform_name=plat.hamster.platform_description()))
+        print(f"trace    : written to {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        path = args.metrics_out
+        text = (plat.metrics.to_csv() if path.endswith(".csv")
+                else plat.metrics.to_json())
+        write_text(path, text)
+        print(f"metrics  : written to {path} ({len(plat.metrics)} samples)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HAMSTER reproduction driver")
@@ -99,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", metavar="PATH",
                      help="write the run result (+ profile) as JSON")
     _add_fault_options(run)
+    _add_obs_options(run)
 
     chaos = sub.add_parser(
         "chaos", help="run one benchmark under a seeded fault plan")
@@ -118,6 +167,26 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[], metavar="NODE@AT[@RESTART]",
                        help="crash NODE at virtual time AT seconds, "
                             "optionally restarting at RESTART (repeatable)")
+    _add_obs_options(chaos)
+
+    trace = sub.add_parser(
+        "trace", help="instrumented run: critical-path report + trace export")
+    trace.add_argument("--validate", metavar="FILE",
+                       help="validate an exported Chrome trace JSON file "
+                            "and exit (no run)")
+    ttarget = trace.add_mutually_exclusive_group()
+    ttarget.add_argument("--preset", default="sw-dsm-4",
+                         help=f"platform preset ({', '.join(sorted(PRESETS))})")
+    ttarget.add_argument("--config", help="cluster configuration file")
+    trace.add_argument("--app", default="sor",
+                       help=f"benchmark ({', '.join(sorted(APP_TABLE))})")
+    trace.add_argument("--param", action="append", type=_parse_param,
+                       default=[], metavar="NAME=VALUE",
+                       help="benchmark parameter override (repeatable)")
+    trace.add_argument("--path-top", type=int, default=8, metavar="N",
+                       help="critical-chain entries to print (default 8)")
+    _add_fault_options(trace)
+    _add_obs_options(trace)
 
     sub.add_parser("platforms", help="list platform presets")
     sub.add_parser("apps", help="list benchmarks and working sets")
@@ -151,6 +220,7 @@ def _cmd_run(args) -> int:
     plan = _resolve_plan(args)
     if plan is not None:
         config.faults = plan
+    _apply_obs(config, args)
     params: Dict[str, Any] = dict(args.param)
     plat = config.build()
     api = NativeJiaJiaApi(plat.hamster) if args.native else JiaJiaApi(plat.hamster)
@@ -174,6 +244,7 @@ def _cmd_run(args) -> int:
 
         write_text(args.json, run_to_json(merged, platform=plat))
         print(f"json     : written to {args.json}")
+    _export_obs(plat, args)
     return 0 if merged.verified else 1
 
 
@@ -192,15 +263,61 @@ def _cmd_chaos(args) -> int:
             link=dataclasses.replace(plan.link, drop_rate=args.drop_rate))
     if args.crash:
         plan = plan.with_overrides(crashes=plan.crashes + tuple(args.crash))
+    _apply_obs(config, args)
     result = run_chaos(config, app=args.app, app_params=dict(args.param),
                        plan=plan)
     print(result.summary())
+    if result.built is not None:
+        _export_obs(result.built, args)
     if result.outcome == "completed":
         return 0 if result.verified else 1
     # A typed failure is the *expected* outcome when the plan kills a node
     # for good; only unexplained failures are an error exit.
     return 0 if (result.outcome == "node-failed"
                  and plan.has_permanent_crash()) else 2
+
+
+def _cmd_trace(args) -> int:
+    if args.validate:
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        with open(args.validate, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        errors = validate_chrome_trace(doc)
+        if errors:
+            for err in errors:
+                print(f"invalid: {err}")
+            return 1
+        print(f"valid Chrome trace: {args.validate} "
+              f"({len(doc['traceEvents'])} events)")
+        return 0
+
+    from repro.apps import get_app
+    from repro.apps.common import merge_rank_results
+    from repro.models.jiajia_api import JiaJiaApi
+    from repro.obs import critical_path_report
+
+    config = load(args.config) if args.config else preset(args.preset)
+    plan = _resolve_plan(args)
+    if plan is not None:
+        config.faults = plan
+    config.observe = True  # the whole point of this subcommand
+    _apply_obs(config, args)
+    params: Dict[str, Any] = dict(args.param)
+    plat = config.build()
+    api = JiaJiaApi(plat.hamster)
+    fn = get_app(args.app)
+    merged = merge_rank_results(api.run(lambda a: fn(a, **params)))
+    print(f"platform : {plat.hamster.platform_description()}")
+    print(f"benchmark: {args.app} {params or ''}")
+    print(f"verified : {merged.verified}")
+    print(f"spans    : {len(plat.obs)}")
+    print()
+    print(critical_path_report(plat).render(path_top=args.path_top))
+    _export_obs(plat, args)
+    return 0 if merged.verified else 1
 
 
 def _cmd_platforms() -> int:
@@ -225,6 +342,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "platforms":
         return _cmd_platforms()
     if args.command == "apps":

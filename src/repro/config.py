@@ -58,6 +58,12 @@ class ClusterConfig:
     #: a plan dict; None (the default) leaves the network perfect and adds
     #: zero state or cost
     faults: Optional[Any] = None
+    #: causal span recording (repro.obs). Off by default: the engine keeps
+    #: the shared null observer and runs are bit-identical to an
+    #: uninstrumented build; on, spans never charge virtual time either.
+    observe: bool = False
+    #: time-series metrics sampling period in virtual seconds (None = off)
+    metrics_interval: Optional[float] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -83,6 +89,9 @@ class ClusterConfig:
             raise ConfigurationError(
                 "fault injection needs a networked platform (the SMP bus "
                 "does not lose messages)")
+        if self.metrics_interval is not None and self.metrics_interval <= 0:
+            raise ConfigurationError(
+                f"metrics_interval must be > 0, got {self.metrics_interval}")
 
     # ----------------------------------------------------------------- build
     def params(self) -> MachineParams:
@@ -141,9 +150,22 @@ class ClusterConfig:
         if plan is not None and plan.heartbeat:
             hamster.cluster_ctl.start_failure_detection(
                 interval=plan.heartbeat_interval)
-        return BuiltPlatform(config=self, engine=engine, cluster=cluster,
-                             fabric=fabric, dsm=dsm, hamster=hamster,
-                             faults=injector)
+        obs = metrics = None
+        built = BuiltPlatform(config=self, engine=engine, cluster=cluster,
+                              fabric=fabric, dsm=dsm, hamster=hamster,
+                              faults=injector)
+        if self.observe:
+            from repro.obs import ObsRecorder
+
+            obs = ObsRecorder(engine)
+            engine.obs = obs
+        if self.metrics_interval is not None:
+            from repro.obs import MetricsSampler
+
+            metrics = MetricsSampler(built, self.metrics_interval).start()
+        built.obs = obs
+        built.metrics = metrics
+        return built
 
     # ------------------------------------------------------------------- io
     def to_text(self) -> str:
@@ -167,6 +189,10 @@ class ClusterConfig:
             plan = FaultPlan.coerce(self.faults)
             lines += ["", "[faults]",
                       f"plan = {_json.dumps(plan.to_dict(), sort_keys=True)}"]
+        if self.observe or self.metrics_interval is not None:
+            lines += ["", "[obs]", f"observe = {str(self.observe).lower()}"]
+            if self.metrics_interval is not None:
+                lines += [f"metrics_interval = {self.metrics_interval}"]
         return "\n".join(lines) + "\n"
 
 
@@ -182,6 +208,11 @@ class BuiltPlatform:
     hamster: Any
     #: the installed :class:`repro.faults.FaultyNetwork`, or None
     faults: Any = None
+    #: the :class:`repro.obs.ObsRecorder` when built with ``observe=True``
+    obs: Any = None
+    #: the armed :class:`repro.obs.MetricsSampler` when built with a
+    #: ``metrics_interval``
+    metrics: Any = None
 
 
 def loads(text: str) -> ClusterConfig:
@@ -226,10 +257,19 @@ def loads(text: str) -> ClusterConfig:
         else:
             overrides[key] = float(val)
     faults = _parse_faults(values)
+    obs_keys = {key for (sec, key) in values if sec == "obs"}
+    unknown_obs = obs_keys - {"observe", "metrics_interval"}
+    if unknown_obs:
+        raise ConfigurationError(f"unknown [obs] keys {sorted(unknown_obs)}")
+    observe = (get("obs", "observe", "false") or "false").lower() in (
+        "1", "true", "yes", "on")
+    interval_s = get("obs", "metrics_interval")
     return ClusterConfig(platform=platform, dsm=dsm, nodes=nodes,
                          ranks=int(ranks_s) if ranks_s else None,
                          integrated_messaging=(messaging == "integrated"),
-                         param_overrides=overrides, faults=faults)
+                         param_overrides=overrides, faults=faults,
+                         observe=observe,
+                         metrics_interval=float(interval_s) if interval_s else None)
 
 
 def _parse_faults(values: Dict[Tuple[str, str], str]) -> Optional[Any]:

@@ -44,26 +44,29 @@ class MemoryMgmt:
         :class:`CapabilityError` if the subsystem cannot accommodate it —
         "as long as the subsystem can accommodate the given parameters".
         """
-        self._h.charge_call()
-        if coherence is not None:
-            self.require(f"consistency:{coherence}")
-        region = self.dsm.allocate(nbytes, name=name, distribution=distribution)
-        self.stats.incr("allocations")
-        self.stats.incr("allocated_bytes", region.size)
-        return region
+        with self._h.engine.obs.span("svc.alloc", bytes=nbytes, name=name):
+            self._h.charge_call()
+            if coherence is not None:
+                self.require(f"consistency:{coherence}")
+            region = self.dsm.allocate(nbytes, name=name,
+                                       distribution=distribution)
+            self.stats.incr("allocations")
+            self.stats.incr("allocated_bytes", region.size)
+            return region
 
     def alloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
                     name: str = "", distribution: Optional[Distribution] = None,
                     coherence: Optional[str] = None) -> SharedArray:
         """Allocate a typed shared array (the common application path)."""
-        self._h.charge_call()
-        if coherence is not None:
-            self.require(f"consistency:{coherence}")
-        arr = self.dsm.make_array(shape, dtype=dtype, name=name,
-                                  distribution=distribution)
-        self.stats.incr("allocations")
-        self.stats.incr("allocated_bytes", arr.region.size)
-        return arr
+        with self._h.engine.obs.span("svc.alloc", name=name):
+            self._h.charge_call()
+            if coherence is not None:
+                self.require(f"consistency:{coherence}")
+            arr = self.dsm.make_array(shape, dtype=dtype, name=name,
+                                      distribution=distribution)
+            self.stats.incr("allocations")
+            self.stats.incr("allocated_bytes", arr.region.size)
+            return arr
 
     # ------------------------------------------------- collective allocation
     def _collective(self, make) -> Any:

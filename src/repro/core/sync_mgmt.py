@@ -126,10 +126,11 @@ class SyncMgmt:
 
     def lock(self, lock_id: int) -> None:
         """Acquire a global lock (with the substrate's acquire semantics)."""
-        self._h.charge_call()
-        self.stats.incr("lock_acquires")
-        self.dsm.lock(lock_id)
-        self._held.setdefault(self.dsm.current_rank(), []).append(lock_id)
+        with self._h.engine.obs.span("svc.lock", lock=lock_id):
+            self._h.charge_call()
+            self.stats.incr("lock_acquires")
+            self.dsm.lock(lock_id)
+            self._held.setdefault(self.dsm.current_rank(), []).append(lock_id)
 
     def try_lock(self, lock_id: int) -> bool:
         """Non-blocking lock attempt; True on success."""
@@ -142,15 +143,16 @@ class SyncMgmt:
 
     def unlock(self, lock_id: int) -> None:
         """Release a global lock (with release consistency semantics)."""
-        self._h.charge_call()
-        self.stats.incr("lock_releases")
-        rank = self.dsm.current_rank()
-        held = self._held.get(rank, [])
-        if lock_id not in held:
-            raise SynchronizationError(
-                f"rank {rank} releasing lock {lock_id} it does not hold")
-        held.remove(lock_id)
-        self.dsm.unlock(lock_id)
+        with self._h.engine.obs.span("svc.unlock", lock=lock_id):
+            self._h.charge_call()
+            self.stats.incr("lock_releases")
+            rank = self.dsm.current_rank()
+            held = self._held.get(rank, [])
+            if lock_id not in held:
+                raise SynchronizationError(
+                    f"rank {rank} releasing lock {lock_id} it does not hold")
+            held.remove(lock_id)
+            self.dsm.unlock(lock_id)
 
     def held_locks(self, rank: Optional[int] = None) -> List[int]:
         if rank is None:
@@ -160,9 +162,10 @@ class SyncMgmt:
     # --------------------------------------------------------------- barrier
     def barrier(self) -> None:
         """Global barrier with barrier consistency."""
-        self._h.charge_call()
-        self.stats.incr("barriers")
-        self.dsm.barrier()
+        with self._h.engine.obs.span("svc.barrier"):
+            self._h.charge_call()
+            self.stats.incr("barriers")
+            self.dsm.barrier()
 
     # ------------------------------------------------------------ conditions
     def new_condition(self, lock_id: int) -> ConditionVar:

@@ -225,25 +225,30 @@ class JiaJiaSystem(GlobalMemorySystem):
             st.write_faults += len(faulting)
         else:
             st.read_faults += len(faulting)
+        obs = self.engine.obs
         for page in faulting:
-            home = self.home_of(page, rank)
-            state = pt.state(page)
-            node.cpu_time(self.params.fault_handling_cost
-                          + self.params.hamster_fault_hook)
-            if home == rank:
-                # Home pages are served locally; first touch just enables them.
-                pt.set_state(page, PageState.READ_WRITE)
-            else:
-                if state is PageState.INVALID:
-                    self._fetch_page(rank, region, page, home)
-                    state = PageState.READ_ONLY
-                if write:
-                    self._make_twin(rank, region, page)
+            # One span per page fault (the simulated SIGSEGV); its getpage
+            # fetch, the fetch's wire transfers and any fault-injected
+            # retransmissions all hang below it in the causal tree.
+            with obs.span("dsm.fault", rank=rank, page=page, write=write):
+                home = self.home_of(page, rank)
+                state = pt.state(page)
+                node.cpu_time(self.params.fault_handling_cost
+                              + self.params.hamster_fault_hook)
+                if home == rank:
+                    # Home pages are served locally; first touch enables them.
                     pt.set_state(page, PageState.READ_WRITE)
                 else:
-                    pt.set_state(page, PageState.READ_ONLY)
-            if write:
-                self._dirty[rank][page] = region
+                    if state is PageState.INVALID:
+                        self._fetch_page(rank, region, page, home)
+                        state = PageState.READ_ONLY
+                    if write:
+                        self._make_twin(rank, region, page)
+                        pt.set_state(page, PageState.READ_WRITE)
+                    else:
+                        pt.set_state(page, PageState.READ_ONLY)
+                if write:
+                    self._dirty[rank][page] = region
         if write:
             # Non-faulting writes to pages already RW in this interval are
             # already in the dirty set; home pages reached RW earlier may be
@@ -264,13 +269,16 @@ class JiaJiaSystem(GlobalMemorySystem):
     def _fetch_page(self, rank: int, region: Region, page: int, home: int) -> None:
         """getpage round trip; copies real home bytes into the local copy."""
         off, length = region.page_extent(page)
-        data = self.chan.rpc(self.node_of(rank), self.node_of(home), "getpage",
-                             payload={"page": page, "region": region.region_id},
-                             size=PAGE_WIRE_HEADER)
-        buf = self._buffer(rank, region)
-        buf[off:off + length] = data
-        node = self.cluster.node(self.node_of(rank))
-        node.mem_touch(length)
+        with self.engine.obs.span("dsm.fetch", rank=rank, page=page, home=home):
+            data = self.chan.rpc(self.node_of(rank), self.node_of(home),
+                                 "getpage",
+                                 payload={"page": page,
+                                          "region": region.region_id},
+                                 size=PAGE_WIRE_HEADER)
+            buf = self._buffer(rank, region)
+            buf[off:off + length] = data
+            node = self.cluster.node(self.node_of(rank))
+            node.mem_touch(length)
         st = self.rank_stats[rank]
         st.pages_fetched += 1
         self.engine.trace.emit("jj.fetch", rank=rank, page=page, home=home)
@@ -323,6 +331,12 @@ class JiaJiaSystem(GlobalMemorySystem):
                 p: c for p, c in self._dirty_streak[rank].items() if p in dirty}
         if not dirty and not assumed:
             return []
+        with self.engine.obs.span("dsm.flush", rank=rank,
+                                  pages=len(dirty) + len(assumed)):
+            return self._flush_dirty(rank, dirty, assumed)
+
+    def _flush_dirty(self, rank: int, dirty: Dict[int, Region],
+                     assumed: Dict[int, int]) -> List[WriteNotice]:
         node = self.cluster.node(self.node_of(rank))
         pt = self._ptables[rank]
         notices: List[WriteNotice] = []
@@ -417,24 +431,26 @@ class JiaJiaSystem(GlobalMemorySystem):
 
     def lock(self, lock_id: int) -> None:
         rank = self.current_rank()
-        self.cluster.node(self.node_of(rank)).cpu_time(self.params.hamster_sync_hook)
-        st = self.rank_stats[rank]
-        st.lock_acquires += 1
-        t0 = self.engine.now
-        manager = self._manager_of(lock_id)
-        cursor_key = lock_id if self.scope_consistency else -1
-        cursor = self._cursors[rank].get(cursor_key, 0)
-        if manager == rank:
-            notices, seq = self._local_lock_acquire(lock_id, rank, cursor)
-        else:
-            result = self.chan.rpc(self.node_of(rank), self.node_of(manager),
-                                   "lock.acq",
-                                   payload={"lock": lock_id, "rank": rank,
-                                            "cursor": cursor}, size=24)
-            notices, seq = result["notices"], result["seq"]
-        self._cursors[rank][cursor_key] = seq
-        self._apply_notices(rank, notices)
-        st.lock_wait_time += self.engine.now - t0
+        with self.engine.obs.span("dsm.lock", rank=rank, lock=lock_id):
+            self.cluster.node(self.node_of(rank)).cpu_time(
+                self.params.hamster_sync_hook)
+            st = self.rank_stats[rank]
+            st.lock_acquires += 1
+            t0 = self.engine.now
+            manager = self._manager_of(lock_id)
+            cursor_key = lock_id if self.scope_consistency else -1
+            cursor = self._cursors[rank].get(cursor_key, 0)
+            if manager == rank:
+                notices, seq = self._local_lock_acquire(lock_id, rank, cursor)
+            else:
+                result = self.chan.rpc(self.node_of(rank),
+                                       self.node_of(manager), "lock.acq",
+                                       payload={"lock": lock_id, "rank": rank,
+                                                "cursor": cursor}, size=24)
+                notices, seq = result["notices"], result["seq"]
+            self._cursors[rank][cursor_key] = seq
+            self._apply_notices(rank, notices)
+            st.lock_wait_time += self.engine.now - t0
 
     def _local_lock_acquire(self, lock_id: int, rank: int,
                             cursor: int) -> Tuple[List[WriteNotice], int]:
@@ -446,8 +462,9 @@ class JiaJiaSystem(GlobalMemorySystem):
             return self._notices_for(ls, cursor)
         waiter = _LocalWaiter(self.engine.require_process(), rank, cursor)
         ls.queue.append(waiter)
-        while not waiter.granted:
-            waiter.proc.suspend()
+        with self.engine.obs.span("dsm.wait", rank=rank, lock=lock_id):
+            while not waiter.granted:
+                waiter.proc.suspend()
         return waiter.notices, waiter.seq
 
     def _notices_for(self, ls: _LockState, cursor: int) -> Tuple[List[WriteNotice], int]:
@@ -508,20 +525,23 @@ class JiaJiaSystem(GlobalMemorySystem):
 
     def unlock(self, lock_id: int) -> None:
         rank = self.current_rank()
-        self.cluster.node(self.node_of(rank)).cpu_time(self.params.hamster_sync_hook)
-        self.rank_stats[rank].lock_releases += 1
-        self._flush(rank)
-        # Bind every notice since the last release to this lock's scope
-        # (covers writes flushed early by explicit fences).
-        notices, self._pending[rank] = self._pending[rank], []
-        manager = self._manager_of(lock_id)
-        if manager == rank:
-            self._local_lock_release(lock_id, rank, notices)
-        else:
-            self.chan.post(self.node_of(rank), self.node_of(manager), "lock.rel",
-                           payload={"lock": lock_id, "rank": rank,
-                                    "notices": notices},
-                           size=16 + len(notices) * NOTICE_WIRE_BYTES)
+        with self.engine.obs.span("dsm.unlock", rank=rank, lock=lock_id):
+            self.cluster.node(self.node_of(rank)).cpu_time(
+                self.params.hamster_sync_hook)
+            self.rank_stats[rank].lock_releases += 1
+            self._flush(rank)
+            # Bind every notice since the last release to this lock's scope
+            # (covers writes flushed early by explicit fences).
+            notices, self._pending[rank] = self._pending[rank], []
+            manager = self._manager_of(lock_id)
+            if manager == rank:
+                self._local_lock_release(lock_id, rank, notices)
+            else:
+                self.chan.post(self.node_of(rank), self.node_of(manager),
+                               "lock.rel",
+                               payload={"lock": lock_id, "rank": rank,
+                                        "notices": notices},
+                               size=16 + len(notices) * NOTICE_WIRE_BYTES)
 
     def _local_lock_release(self, lock_id: int, rank: int,
                             notices: List[WriteNotice]) -> None:
@@ -570,22 +590,25 @@ class JiaJiaSystem(GlobalMemorySystem):
     # --------------------------------------------------------------- barrier
     def barrier(self) -> None:
         rank = self.current_rank()
-        self.cluster.node(self.node_of(rank)).cpu_time(self.params.hamster_sync_hook)
-        st = self.rank_stats[rank]
-        st.barriers += 1
-        t0 = self.engine.now
-        self._flush(rank)
-        self._pending[rank] = []  # the barrier globalizes everything below
-        history, self._history[rank] = self._history[rank], []
-        if rank == 0:
-            self._local_barrier_arrive(rank, history)
-        else:
-            merged = self.chan.rpc(self.node_of(rank), self.node_of(0),
-                                   "barrier.arrive",
-                                   payload={"rank": rank, "notices": history},
-                                   size=16 + len(history) * NOTICE_WIRE_BYTES)
-            self._apply_notices(rank, merged)
-        st.barrier_wait_time += self.engine.now - t0
+        with self.engine.obs.span("dsm.barrier", rank=rank):
+            self.cluster.node(self.node_of(rank)).cpu_time(
+                self.params.hamster_sync_hook)
+            st = self.rank_stats[rank]
+            st.barriers += 1
+            t0 = self.engine.now
+            self._flush(rank)
+            self._pending[rank] = []  # the barrier globalizes all below
+            history, self._history[rank] = self._history[rank], []
+            if rank == 0:
+                self._local_barrier_arrive(rank, history)
+            else:
+                merged = self.chan.rpc(self.node_of(rank), self.node_of(0),
+                                       "barrier.arrive",
+                                       payload={"rank": rank,
+                                                "notices": history},
+                                       size=16 + len(history) * NOTICE_WIRE_BYTES)
+                self._apply_notices(rank, merged)
+            st.barrier_wait_time += self.engine.now - t0
 
     def _local_barrier_arrive(self, rank: int, history: List[WriteNotice]) -> None:
         proc = self.engine.require_process()
@@ -595,8 +618,9 @@ class JiaJiaSystem(GlobalMemorySystem):
         if len(self._barrier_round) == self.n_procs:
             self._barrier_complete()
         else:
-            while not waiter.granted:
-                proc.suspend()
+            with self.engine.obs.span("dsm.wait", rank=rank, barrier=True):
+                while not waiter.granted:
+                    proc.suspend()
         self._apply_notices(rank, waiter.notices)
 
     def _h_barrier_arrive(self, msg) -> Optional[Reply]:

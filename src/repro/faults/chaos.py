@@ -49,6 +49,9 @@ class ChaosResult:
     messaging: Dict[str, int] = field(default_factory=dict)
     #: failure-detector status, {} when no detector ran
     detector: Dict[str, Any] = field(default_factory=dict)
+    #: the :class:`~repro.config.BuiltPlatform` the run executed on — the
+    #: handle observability exports (trace/metrics) read from
+    built: Any = None
 
     @property
     def masked(self) -> bool:
@@ -109,7 +112,7 @@ def run_chaos(config: Union[str, ClusterConfig], app: str = "sor",
     fn = get_app(app)
     params = dict(app_params or {})
     result = ChaosResult(app=app, platform=cfg.name or cfg.platform,
-                         outcome="completed")
+                         outcome="completed", built=plat)
     try:
         merged = merge_rank_results(api.run(lambda a: fn(a, **params)))
         result.verified = merged.verified

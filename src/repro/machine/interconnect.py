@@ -52,6 +52,11 @@ class Message:
     #: request this message answers / expects an answer for.
     rpc_token: Optional[int] = None
     is_reply: bool = False
+    #: observability: span id of the sender-side operation this message
+    #: belongs to; receivers link their handler spans back to it, and a
+    #: retransmission keeps it — so the whole exchange is one causal tree.
+    #: None whenever observability is disabled; carries no wire size.
+    span_id: Optional[int] = None
 
 
 class Network:
@@ -121,6 +126,17 @@ class Network:
             self._delivery[msg.dst](msg)
 
         self.engine.schedule(arrive - now, deliver)
+        obs = self.engine.obs
+        if obs.enabled:
+            if msg.span_id is None:
+                msg.span_id = obs.current_id()
+            # The wire occupancy [tx start, arrival] as a completed span.
+            # Retransmissions pass here again and parent to the same
+            # originating span — the retry chain stays causally linked.
+            obs.record("net.xfer", begin=start, end=arrive,
+                       parent=msg.span_id, node=msg.src, src=msg.src,
+                       dst=msg.dst, msg=msg.kind, size=msg.size,
+                       msg_id=msg.msg_id)
         self.engine.trace.emit("net.send", src=msg.src, dst=msg.dst,
                                msg_kind=msg.kind, size=msg.size, arrive=arrive,
                                msg_id=msg.msg_id)

@@ -40,6 +40,24 @@ class ProgrammingModel:
         self.hamster.consistency.check_model(self.CONSISTENCY)
         self._cons = self.hamster.consistency.use(self.CONSISTENCY)
 
+    # -------------------------------------------------------- observability
+    def _obs_span(self, call: str):
+        """Context manager spanning one public API call.
+
+        The root of the causal tree for everything the call triggers
+        (service work, protocol actions, wire transfers). Rank attribution
+        must not raise outside task context, so it goes through the DSM's
+        pid->rank table instead of ``current_rank()``.
+        """
+        obs = self.hamster.engine.obs
+        if not obs.enabled:
+            return obs.span(call)
+        proc = self.hamster.engine.current_process
+        rank = (self.hamster.dsm._task_rank.get(proc.pid)
+                if proc is not None else None)
+        return obs.span("api.call", call=call, rank=rank,
+                        model=self.MODEL_NAME)
+
     # ------------------------------------------------------------- identity
     def _rank(self) -> int:
         return self.hamster.dsm.current_rank()

@@ -33,28 +33,36 @@ class JiaJiaApi(ProgrammingModel):
 
     def jia_init(self) -> tuple:
         """Returns (jiapid, jiahosts) like the C globals."""
-        return self._rank(), self._nranks()
+        with self._obs_span("jia_init"):
+            return self._rank(), self._nranks()
 
     def jia_exit(self) -> None:
-        self.hamster.sync.barrier()
+        with self._obs_span("jia_exit"):
+            self.hamster.sync.barrier()
 
     def jia_alloc(self, nbytes: int, distribution: Optional[Distribution] = None):
         """Global synchronous allocation across all hosts."""
-        return self.hamster.memory.alloc_collective(nbytes, distribution=distribution)
+        with self._obs_span("jia_alloc"):
+            return self.hamster.memory.alloc_collective(
+                nbytes, distribution=distribution)
 
     def jia_alloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
                         name: str = "", distribution: Optional[Distribution] = None):
-        return self.hamster.memory.alloc_array_collective(
-            shape, dtype=dtype, name=name, distribution=distribution)
+        with self._obs_span("jia_alloc_array"):
+            return self.hamster.memory.alloc_array_collective(
+                shape, dtype=dtype, name=name, distribution=distribution)
 
     def jia_lock(self, lock_id: int) -> None:
-        self.hamster.sync.lock(lock_id)
+        with self._obs_span("jia_lock"):
+            self.hamster.sync.lock(lock_id)
 
     def jia_unlock(self, lock_id: int) -> None:
-        self.hamster.sync.unlock(lock_id)
+        with self._obs_span("jia_unlock"):
+            self.hamster.sync.unlock(lock_id)
 
     def jia_barrier(self) -> None:
-        self.hamster.sync.barrier()
+        with self._obs_span("jia_barrier"):
+            self.hamster.sync.barrier()
 
     def jia_wtime(self) -> float:
         return self.hamster.timing.wtime()

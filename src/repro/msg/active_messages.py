@@ -189,21 +189,28 @@ class ActiveMessageLayer:
                 self._outstanding.pop(msg.payload, None)
                 self._on_fail.pop(msg.payload, None)
                 continue
-            # Receiver-side software cost: NIC/stack + AM dispatch.
-            node.cpu_time(self.network.receiver_cpu_overhead()
-                          + self._overhead_for(msg.kind))
-            if self._reliable is not None and not self._accept(node_id, msg):
-                continue  # duplicate: acked again above, handler skipped
-            if msg.is_reply:
-                self._complete_rpc(msg)
-                continue
-            handler = self._handlers[node_id].get(msg.kind)
-            if handler is None:
-                raise MessagingError(
-                    f"node {node_id}: no handler for message kind {msg.kind!r}")
-            result = handler(msg)
-            if result is not None and msg.rpc_token is not None:
-                self.reply(msg, result.payload, result.size)
+            # The handler span links back to the *sender's* span carried in
+            # the message — the cross-rank edge of the causal tree. Work
+            # here runs on this node's server, so it is attributed to this
+            # node's resident rank, not the sender's.
+            with self.engine.obs.span("am.handle", parent=msg.span_id,
+                                      rank=node_id, node=node_id,
+                                      msg=msg.kind, src=msg.src):
+                # Receiver-side software cost: NIC/stack + AM dispatch.
+                node.cpu_time(self.network.receiver_cpu_overhead()
+                              + self._overhead_for(msg.kind))
+                if self._reliable is not None and not self._accept(node_id, msg):
+                    continue  # duplicate: acked again above, handler skipped
+                if msg.is_reply:
+                    self._complete_rpc(msg)
+                    continue
+                handler = self._handlers[node_id].get(msg.kind)
+                if handler is None:
+                    raise MessagingError(
+                        f"node {node_id}: no handler for message kind {msg.kind!r}")
+                result = handler(msg)
+                if result is not None and msg.rpc_token is not None:
+                    self.reply(msg, result.payload, result.size)
 
     def _complete_rpc(self, msg: Message) -> None:
         call = self._pending.pop(msg.rpc_token, None)
@@ -250,46 +257,60 @@ class ActiveMessageLayer:
     def post(self, src: int, dst: int, kind: str, payload: Any = None,
              size: int = 0) -> None:
         """One-way active message from ``src`` to ``dst``."""
-        self._check_dead(dst)
-        self.posts += 1
-        self._charge_send(src, kind)
-        msg = Message(src=src, dst=dst, kind=kind,
-                      size=size + AM_HEADER_BYTES, payload=payload)
-        self.network.send(msg)
-        if self._reliable is not None:
-            # An undeliverable one-way message means protocol state is lost
-            # for good: abort the run with a typed error, never corrupt.
-            self._track(msg, self.engine._report_exception)
+        obs = self.engine.obs
+        with obs.span("am.post", msg=kind, src=src, dst=dst):
+            self._check_dead(dst)
+            self.posts += 1
+            self._charge_send(src, kind)
+            msg = Message(src=src, dst=dst, kind=kind,
+                          size=size + AM_HEADER_BYTES, payload=payload)
+            if obs.enabled:
+                # Stamp the causal origin before any fault injector can
+                # defer the transmission into engine context.
+                msg.span_id = obs.current_id()
+            self.network.send(msg)
+            if self._reliable is not None:
+                # An undeliverable one-way message means protocol state is
+                # lost for good: abort with a typed error, never corrupt.
+                self._track(msg, self.engine._report_exception)
 
     def rpc(self, src: int, dst: int, kind: str, payload: Any = None,
             size: int = 0) -> Any:
         """Request/reply; blocks the calling process until the handler at
         ``dst`` answers. Returns the reply payload."""
         caller = self.engine.require_process()
-        self._check_dead(dst)
-        token = next(self._tokens)
-        call = _PendingCall(caller, dst=dst)
-        self._pending[token] = call
-        self.rpcs += 1
-        self._charge_send(src, kind)
-        msg = Message(src=src, dst=dst, kind=kind,
-                      size=size + AM_HEADER_BYTES, payload=payload,
-                      rpc_token=token)
-        self.network.send(msg)
-        if self._reliable is not None:
-            call.req_id = msg.msg_id
+        obs = self.engine.obs
+        with obs.span("am.rpc", msg=kind, src=src, dst=dst):
+            self._check_dead(dst)
+            token = next(self._tokens)
+            call = _PendingCall(caller, dst=dst)
+            self._pending[token] = call
+            self.rpcs += 1
+            self._charge_send(src, kind)
+            msg = Message(src=src, dst=dst, kind=kind,
+                          size=size + AM_HEADER_BYTES, payload=payload,
+                          rpc_token=token)
+            if obs.enabled:
+                msg.span_id = obs.current_id()
+            self.network.send(msg)
+            if self._reliable is not None:
+                call.req_id = msg.msg_id
 
-            def fail(exc: BaseException) -> None:
-                call.failed = exc
-                self._pending.pop(token, None)
-                call.caller.wake()
+                def fail(exc: BaseException) -> None:
+                    call.failed = exc
+                    self._pending.pop(token, None)
+                    call.caller.wake()
 
-            self._track(msg, fail)
-        while not call.done and call.failed is None:
-            caller.suspend()
-        if call.failed is not None:
-            raise call.failed
-        return call.result
+                self._track(msg, fail)
+            # The reply-wait is the blocked share of the round trip — kept
+            # as its own child span so critical-path attribution can split
+            # protocol work from time spent parked.
+            with obs.span("am.wait", msg=kind, dst=dst):
+                while not call.done and call.failed is None:
+                    caller.suspend()
+            if call.failed is not None:
+                raise call.failed
+            return call.result
 
     def reply(self, request: Message, payload: Any = None, size: int = 0) -> None:
         """Answer an RPC ``request`` (immediately from its handler, or later
@@ -300,6 +321,8 @@ class ActiveMessageLayer:
         msg = Message(src=request.dst, dst=request.src, kind="__reply__",
                       size=size + AM_HEADER_BYTES, payload=payload,
                       rpc_token=request.rpc_token, is_reply=True)
+        if self.engine.obs.enabled:
+            msg.span_id = self.engine.obs.current_id()
         self.network.send(msg)
         if self._reliable is not None and request.src not in self._dead:
             self._track(msg, self.engine._report_exception)

@@ -1,0 +1,52 @@
+"""repro.obs — causal observability for the whole stack.
+
+The paper's §4.3 monitoring gives every module architecture-independent
+*counters*; this package adds the three layers a performance tool actually
+needs on top of them:
+
+* :mod:`repro.obs.spans` — causal **span** tracing. A span is a named
+  virtual-time interval with an explicit parent link; the chain *model API
+  call → HAMSTER service → DSM protocol action → active message → network
+  transfer* becomes one linked tree, across ranks, including
+  retransmissions injected by :mod:`repro.faults`.
+* :mod:`repro.obs.metrics` — **time-series metrics**: an interval sampler
+  that snapshots every :class:`~repro.core.monitoring.ModuleStats` registry
+  plus per-network bytes/queue depth at a configurable virtual-time period,
+  so tuners get bandwidth/contention *curves*, not only final totals.
+* :mod:`repro.obs.critical_path` — a critical-path walker over the span
+  tree plus a per-rank attribution of total runtime to
+  compute/protocol/wire/blocked categories.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loads in Perfetto
+  or ``chrome://tracing``) and a lightweight schema validator for CI.
+
+Everything is **off by default and costs zero when disabled**: the engine
+carries a shared :data:`~repro.obs.spans.NULL_OBS` sentinel whose every
+operation is a no-op, no virtual time is ever charged by instrumentation,
+and benchmark outputs stay bit-identical — preserving the paper's
+"monitoring independent of the architecture, negligible overhead" property.
+"""
+
+from repro.obs.critical_path import (CriticalPathReport, RankBreakdown,
+                                     category_of, critical_path,
+                                     critical_path_report)
+from repro.obs.export import (chrome_trace, chrome_trace_json,
+                              validate_chrome_trace)
+from repro.obs.metrics import MetricPoint, MetricsSampler
+from repro.obs.spans import NULL_OBS, NullObserver, ObsRecorder, Span
+
+__all__ = [
+    "Span",
+    "ObsRecorder",
+    "NullObserver",
+    "NULL_OBS",
+    "MetricsSampler",
+    "MetricPoint",
+    "CriticalPathReport",
+    "RankBreakdown",
+    "category_of",
+    "critical_path",
+    "critical_path_report",
+    "chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,205 @@
+"""Critical-path analysis over the causal span tree.
+
+Two complementary answers to "where did the time go":
+
+* :func:`critical_path` — the chain of spans that determined end-to-end
+  time: starting from the last span to finish, walk backwards through
+  causal parents (falling back to the latest span finishing before the
+  current one began) until virtual time zero. The chain crosses ranks
+  wherever a message link does.
+* :func:`rank_breakdown` / :func:`critical_path_report` — per-rank
+  attribution of the **entire** run to four categories:
+
+  - ``wire``     — covered by a ``net.*`` transfer span,
+  - ``blocked``  — covered by a ``*.wait`` span (and not wire),
+  - ``protocol`` — covered by any other span (service, DSM, messaging),
+  - ``compute``  — covered by no span at all (application work, by
+    construction of the instrumentation).
+
+  Priority resolves overlaps (wire > blocked > protocol), so the four
+  categories partition ``[0, total]`` exactly: **per rank they sum to the
+  rank's total virtual runtime** — the invariant the acceptance test and
+  the overhead guarantee both lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.spans import ObsRecorder, Span
+
+__all__ = ["category_of", "RankBreakdown", "CriticalPathReport",
+           "critical_path", "rank_breakdown", "critical_path_report"]
+
+#: attribution categories, in overlap-priority order
+CATEGORIES = ("wire", "blocked", "protocol", "compute")
+
+
+def category_of(kind: str) -> str:
+    """Map a span kind to its attribution category."""
+    if kind.startswith("net."):
+        return "wire"
+    if kind.endswith(".wait"):
+        return "blocked"
+    return "protocol"
+
+
+# ---------------------------------------------------------------- intervals
+def _union(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge possibly-overlapping intervals into a disjoint sorted list."""
+    out: List[Tuple[float, float]] = []
+    for begin, end in sorted(intervals):
+        if out and begin <= out[-1][1]:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((begin, end))
+    return out
+
+
+def _measure(intervals: List[Tuple[float, float]]) -> float:
+    return sum(end - begin for begin, end in intervals)
+
+
+def _clamped(span: Span, total: float) -> Optional[Tuple[float, float]]:
+    """Span interval clipped to [0, total]; open spans run to ``total``."""
+    begin = max(0.0, span.begin)
+    end = total if span.end is None else min(span.end, total)
+    return (begin, end) if end > begin else None
+
+
+# --------------------------------------------------------------- breakdowns
+@dataclass
+class RankBreakdown:
+    """One rank's runtime partitioned into the four categories."""
+
+    rank: int
+    total: float
+    compute: float = 0.0
+    protocol: float = 0.0
+    wire: float = 0.0
+    blocked: float = 0.0
+
+    def category_sum(self) -> float:
+        return self.compute + self.protocol + self.wire + self.blocked
+
+    def share(self, category: str) -> float:
+        return getattr(self, category) / self.total if self.total > 0 else 0.0
+
+
+def rank_breakdown(recorder: ObsRecorder, rank: int,
+                   total: float) -> RankBreakdown:
+    """Partition ``[0, total]`` for one rank by category priority."""
+    by_cat: dict = {"wire": [], "blocked": [], "protocol": []}
+    for span in recorder.spans:
+        if span.rank != rank:
+            continue
+        interval = _clamped(span, total)
+        if interval is not None:
+            by_cat[category_of(span.kind)].append(interval)
+    wire = _union(by_cat["wire"])
+    wire_blocked = _union(wire + by_cat["blocked"])
+    covered = _union(wire_blocked + by_cat["protocol"])
+    out = RankBreakdown(rank=rank, total=total)
+    out.wire = _measure(wire)
+    out.blocked = _measure(wire_blocked) - out.wire
+    out.protocol = _measure(covered) - _measure(wire_blocked)
+    out.compute = total - _measure(covered)
+    return out
+
+
+# ------------------------------------------------------------ critical path
+def critical_path(recorder: ObsRecorder) -> List[Span]:
+    """The span chain that determined end-to-end time, earliest first.
+
+    Backward walk from the globally last-finishing span: prefer the causal
+    parent when it began strictly earlier; otherwise jump to the latest
+    span finishing at or before the current span began. Heuristic (the
+    span tree is not a full dependence graph) but deterministic.
+    """
+    closed = recorder.closed()
+    if not closed:
+        return []
+    cur = max(closed, key=lambda s: (s.end, s.span_id))
+    chain = [cur]
+    seen = {cur.span_id}
+    for _ in range(len(closed)):
+        parent = recorder.get(cur.parent)
+        if (parent is not None and parent.end is not None
+                and parent.begin < cur.begin and parent.span_id not in seen):
+            nxt = parent
+        else:
+            candidates = [s for s in closed
+                          if s.end <= cur.begin and s.span_id not in seen]
+            if not candidates:
+                break
+            nxt = max(candidates, key=lambda s: (s.end, s.span_id))
+        chain.append(nxt)
+        seen.add(nxt.span_id)
+        cur = nxt
+    chain.reverse()
+    return chain
+
+
+@dataclass
+class CriticalPathReport:
+    """Whole-run attribution + the determining span chain."""
+
+    platform: str
+    total_time: float
+    ranks: List[RankBreakdown] = field(default_factory=list)
+    path: List[Span] = field(default_factory=list)
+
+    def rank(self, rank: int) -> RankBreakdown:
+        return self.ranks[rank]
+
+    def totals(self) -> dict:
+        """Cluster-wide seconds per category (summed over ranks)."""
+        return {cat: sum(getattr(r, cat) for r in self.ranks)
+                for cat in CATEGORIES}
+
+    def render(self, path_top: int = 8) -> str:
+        from repro.bench.report import render_table
+
+        ms = 1e3
+        rows = [[b.rank, f"{b.compute * ms:.3f}", f"{b.protocol * ms:.3f}",
+                 f"{b.wire * ms:.3f}", f"{b.blocked * ms:.3f}",
+                 f"{b.category_sum() * ms:.3f}",
+                 f"{b.share('compute') * 100:.1f}%"]
+                for b in self.ranks]
+        table = render_table(
+            ["rank", "compute ms", "protocol ms", "wire ms", "blocked ms",
+             "sum ms", "compute %"],
+            rows, title=f"critical path: {self.platform} "
+                        f"({self.total_time * ms:.3f} ms virtual)")
+        lines = [table]
+        if self.path:
+            lines.append(f"\ncritical chain ({len(self.path)} spans, "
+                         f"longest {path_top} shown):")
+            longest = sorted(self.path, key=lambda s: -s.duration)[:path_top]
+            shown = {s.span_id for s in longest}
+            for span in self.path:
+                if span.span_id not in shown:
+                    continue
+                where = f"rank {span.rank}" if span.rank is not None else "-"
+                lines.append(f"  {span.begin * ms:10.3f} ms  {span.kind:<12s} "
+                             f"{where:<8s} {span.duration * ms:8.3f} ms  "
+                             f"{span.fields}")
+        return "\n".join(lines)
+
+
+def critical_path_report(platform) -> CriticalPathReport:
+    """Digest a finished, observability-enabled
+    :class:`~repro.config.BuiltPlatform`."""
+    recorder = platform.engine.obs
+    if not getattr(recorder, "enabled", False):
+        raise ValueError("platform was built without observability "
+                         "(set ClusterConfig.observe = True)")
+    total = platform.engine.now
+    report = CriticalPathReport(
+        platform=platform.hamster.platform_description(), total_time=total,
+        path=critical_path(recorder))
+    for rank in range(platform.hamster.n_ranks):
+        report.ranks.append(rank_breakdown(recorder, rank, total))
+    return report

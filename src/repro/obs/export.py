@@ -1,0 +1,191 @@
+"""Chrome ``trace_event`` export (Perfetto / ``chrome://tracing``).
+
+Serializes the span tree — and optionally the metrics time series — to the
+JSON Object Format of the Trace Event specification:
+
+* every span becomes a complete (``"ph": "X"``) slice on track
+  ``pid = rank`` / ``tid = node`` (timestamps converted to microseconds,
+  the format's unit),
+* cross-rank causal links (a handler span whose parent lives on another
+  rank) become flow events (``"s"``/``"f"``) so Perfetto draws the message
+  arrows,
+* metrics samples become counter (``"ph": "C"``) events,
+* process-name metadata labels each rank's track.
+
+:func:`validate_chrome_trace` is the CI schema check: structural validation
+with no third-party dependency, returning a list of human-readable errors
+(empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.critical_path import category_of
+from repro.obs.spans import ObsRecorder
+
+__all__ = ["chrome_trace", "chrome_trace_json", "validate_chrome_trace"]
+
+#: pid used for spans not attributed to any rank (engine/cluster context)
+CLUSTER_PID = 99
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def chrome_trace(recorder: ObsRecorder, metrics=None,
+                 platform_name: str = "") -> Dict[str, Any]:
+    """Build the trace document (a plain dict; see :func:`chrome_trace_json`)."""
+    now = recorder.engine.now
+    events: List[Dict[str, Any]] = []
+    pids: Dict[int, str] = {}
+
+    def pid_of(span) -> int:
+        if span.rank is not None:
+            pids.setdefault(span.rank, f"rank {span.rank}")
+            return span.rank
+        pids.setdefault(CLUSTER_PID, "cluster")
+        return CLUSTER_PID
+
+    for span in recorder.spans:
+        end = span.end if span.end is not None else now
+        pid = pid_of(span)
+        args = {str(k): _jsonable(v) for k, v in span.fields.items()}
+        args["span_id"] = span.span_id
+        if span.parent is not None:
+            args["parent"] = span.parent
+        events.append({
+            "name": span.kind,
+            "cat": category_of(span.kind),
+            "ph": "X",
+            "ts": span.begin * _US,
+            "dur": max(end - span.begin, 0.0) * _US,
+            "pid": pid,
+            "tid": span.node if span.node is not None else 0,
+            "args": args,
+        })
+        parent = recorder.get(span.parent)
+        if parent is not None and parent.rank != span.rank:
+            # Message causality across ranks: draw a flow arrow.
+            src_pid = pid_of(parent)
+            src_end = parent.end if parent.end is not None else now
+            src_ts = min(max(span.begin, parent.begin), src_end)
+            events.append({
+                "name": "causal", "cat": "flow", "ph": "s",
+                "id": span.span_id, "ts": src_ts * _US, "pid": src_pid,
+                "tid": parent.node if parent.node is not None else 0,
+            })
+            events.append({
+                "name": "causal", "cat": "flow", "ph": "f", "bp": "e",
+                "id": span.span_id, "ts": span.begin * _US, "pid": pid,
+                "tid": span.node if span.node is not None else 0,
+            })
+    if metrics is not None:
+        for point in metrics.samples:
+            for key in sorted(point.values):
+                events.append({
+                    "name": key, "cat": "metric", "ph": "C",
+                    "ts": point.time * _US, "pid": CLUSTER_PID, "tid": 0,
+                    "args": {"value": point.values[key]},
+                })
+        if metrics.samples:
+            pids.setdefault(CLUSTER_PID, "cluster")
+    for pid, label in sorted(pids.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "ts": 0.0, "pid": pid,
+            "tid": 0, "args": {"name": label},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"platform": platform_name,
+                      "total_virtual_seconds": now,
+                      "spans": len(recorder.spans)},
+    }
+
+
+def chrome_trace_json(recorder: ObsRecorder, metrics=None,
+                      platform_name: str = "", indent: Optional[int] = None) -> str:
+    return json.dumps(chrome_trace(recorder, metrics=metrics,
+                                   platform_name=platform_name),
+                      indent=indent, sort_keys=True)
+
+
+# ------------------------------------------------------------------ schema
+_REQUIRED_BY_PH = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+    "s": ("id", "ts", "pid", "tid"),
+    "f": ("id", "ts", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(doc: Union[str, Dict[str, Any]]) -> List[str]:
+    """Structurally validate a Chrome trace document.
+
+    Accepts the JSON text or the already-parsed dict; returns a list of
+    error strings (empty means the trace is loadable by Perfetto /
+    ``chrome://tracing``).
+    """
+    errors: List[str] = []
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing 'ph'")
+            continue
+        required = _REQUIRED_BY_PH.get(ph)
+        if required is None:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in required:
+            if key not in ev:
+                errors.append(f"{where} (ph={ph}): missing {key!r}")
+        ts = ev.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if dur is not None and (not isinstance(dur, (int, float)) or dur < 0):
+                errors.append(f"{where}: 'dur' must be a non-negative number")
+        if "pid" in ev and not isinstance(ev["pid"], int):
+            errors.append(f"{where}: 'pid' must be an integer")
+        if ph == "M" and not (isinstance(ev.get("args"), dict)
+                              and "name" in ev["args"]):
+            errors.append(f"{where}: metadata event needs args.name")
+    flow_starts = {ev.get("id") for ev in events
+                   if isinstance(ev, dict) and ev.get("ph") == "s"}
+    for i, ev in enumerate(events):
+        if isinstance(ev, dict) and ev.get("ph") == "f":
+            if ev.get("id") not in flow_starts:
+                errors.append(f"traceEvents[{i}]: flow finish without start "
+                              f"(id={ev.get('id')!r})")
+    return errors

@@ -18,6 +18,7 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.spans import NULL_OBS
 from repro.sim.trace import Tracer
 
 
@@ -43,6 +44,11 @@ class Engine:
         # identity, not truthiness.
         self.trace = trace if trace is not None else Tracer(enabled=False)
         self.trace.bind_clock(lambda: self._now)
+        # Observability hook (repro.obs). The shared null observer makes
+        # every instrumentation site a no-op: zero state, zero virtual-time
+        # cost, bit-identical runs. ClusterConfig.build swaps in a real
+        # ObsRecorder when observability is requested.
+        self.obs = NULL_OBS
         # Exception raised inside a process thread, re-raised from run().
         self._pending_exc: Optional[BaseException] = None
 

@@ -3,12 +3,19 @@
 A :class:`Tracer` collects :class:`TraceEvent` records (kind + timestamp +
 free-form fields). Tracing is off by default — the benchmark harness keeps it
 disabled; protocol tests switch it on to assert on message/fault sequences.
+
+A ``capacity`` turns the tracer into a bounded ring buffer: the newest
+``capacity`` events are retained, older ones are evicted in O(1), and the
+:attr:`Tracer.dropped` counter records exactly how many were lost — long
+chaos runs can keep a window of recent history without unbounded growth or
+silent truncation.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -34,7 +41,10 @@ class Tracer:
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        #: ring buffer of the newest ``capacity`` events (unbounded if None)
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: events evicted because the ring was full
+        self.dropped = 0
         self._sinks: List[Callable[[TraceEvent], None]] = []
         self._clock: Callable[[], float] = lambda: 0.0
 
@@ -49,9 +59,9 @@ class Tracer:
         if not self.enabled:
             return
         ev = TraceEvent(time=self._clock(), kind=kind, fields=fields)
+        if self.capacity is not None and len(self.events) == self.capacity:
+            self.dropped += 1  # the deque evicts the oldest on append
         self.events.append(ev)
-        if self.capacity is not None and len(self.events) > self.capacity:
-            del self.events[0]
         for sink in self._sinks:
             sink(ev)
 
@@ -70,6 +80,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

@@ -32,6 +32,9 @@ class TraceSummary:
     fetches: List[Tuple[float, int, int, int]] = field(default_factory=list)
     #: invalidation events: (time, rank, pages)
     invalidations: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: every trace kind -> occurrence count (includes fault/retry/detector
+    #: events, so chaos runs digest to something a human can read)
+    events_by_kind: Dict[str, int] = field(default_factory=dict)
 
     # -------------------------------------------------------------- queries
     def message_count(self, kind_prefix: str = "") -> int:
@@ -69,8 +72,14 @@ class TraceSummary:
                              title=f"trace: {self.n_events} events over "
                                    f"{self.duration * 1e3:.3f} ms")
         hot = ", ".join(f"page {p} x{c}" for p, c in self.hottest_pages(3))
-        return table + (f"\nfetches: {len(self.fetches)} (hottest: {hot})"
-                        if self.fetches else "")
+        out = table + (f"\nfetches: {len(self.fetches)} (hottest: {hot})"
+                       if self.fetches else "")
+        notable = {k: c for k, c in sorted(self.events_by_kind.items())
+                   if k.startswith(("fault.", "hb.", "am."))}
+        if notable:
+            out += "\nevents : " + ", ".join(
+                f"{k}={c}" for k, c in notable.items())
+        return out
 
 
 def summarize_trace(trace: Tracer) -> TraceSummary:
@@ -79,6 +88,8 @@ def summarize_trace(trace: Tracer) -> TraceSummary:
     last_time = 0.0
     for event in trace:
         last_time = max(last_time, event.time)
+        summary.events_by_kind[event.kind] = (
+            summary.events_by_kind.get(event.kind, 0) + 1)
         if event.kind == "net.send":
             kind = event.get("msg_kind", "?")
             count, nbytes = summary.messages_by_kind.get(kind, (0, 0))

@@ -80,3 +80,62 @@ class TestCommands:
 
         with pytest.raises(AppError):
             main(["run", "--preset", "hybrid-2", "--app", "doom"])
+
+
+class TestObservabilityCommands:
+    def test_run_with_trace_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.trace.json"
+        code = main(["run", "--preset", "sw-dsm-2", "--app", "sor",
+                     "--param", "n=64", "--param", "iterations=2",
+                     "--trace-out", str(path)])
+        assert code == 0
+        assert "trace    : written to" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_subcommand_reports_critical_path(self, tmp_path, capsys):
+        path = tmp_path / "t.trace.json"
+        code = main(["trace", "--preset", "sw-dsm-2", "--app", "sor",
+                     "--param", "n=64", "--param", "iterations=2",
+                     "--trace-out", str(path),
+                     "--metrics-interval", "0.0005",
+                     "--metrics-out", str(tmp_path / "m.csv")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "compute ms" in out
+        assert "spans    :" in out
+        assert (tmp_path / "m.csv").read_text().startswith("time,")
+
+    def test_trace_validate_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "v.trace.json"
+        assert main(["trace", "--preset", "sw-dsm-2", "--app", "pi",
+                     "--param", "intervals=4096",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--validate", str(path)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"name": "x"}]}')
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert "invalid:" in capsys.readouterr().out
+
+    def test_metrics_out_requires_interval(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "sw-dsm-2", "--app", "pi",
+                  "--metrics-out", "m.csv"])
+
+    def test_chaos_with_trace_out(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "chaos.trace.json"
+        code = main(["chaos", "--preset", "sw-dsm-2", "--app", "sor",
+                     "--param", "n=64", "--fault-seed", "42",
+                     "--trace-out", str(path)])
+        assert code == 0
+        assert "outcome  : completed" in capsys.readouterr().out
+        assert validate_chrome_trace(path.read_text()) == []

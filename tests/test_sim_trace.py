@@ -30,6 +30,39 @@ class TestTracer:
             t.emit("e", i=i)
         assert [e["i"] for e in t] == [3, 4]
 
+    def test_dropped_counter_tracks_evictions(self):
+        t = Tracer(capacity=3)
+        for i in range(3):
+            t.emit("e", i=i)
+        assert t.dropped == 0
+        for i in range(3, 10):
+            t.emit("e", i=i)
+        assert t.dropped == 7
+        assert len(t) == 3
+        assert [e["i"] for e in t] == [7, 8, 9]
+
+    def test_unbounded_never_drops(self):
+        t = Tracer()
+        for i in range(1000):
+            t.emit("e", i=i)
+        assert t.dropped == 0 and len(t) == 1000
+
+    def test_clear_resets_dropped(self):
+        t = Tracer(capacity=1)
+        t.emit("a")
+        t.emit("b")
+        assert t.dropped == 1
+        t.clear()
+        assert t.dropped == 0 and len(t) == 0
+
+    def test_ring_keeps_queries_working(self):
+        t = Tracer(capacity=2)
+        t.emit("x", v=1)
+        t.emit("y", v=2)
+        t.emit("x", v=3)
+        assert t.count("x") == 1  # the first x was evicted
+        assert t.matching(v=3)[0].kind == "x"
+
     def test_sink_called_live(self):
         t = Tracer()
         seen = []
