@@ -2,23 +2,36 @@
 
 Run as a module::
 
-    python -m repro.bench.experiments [scale]
+    python -m repro.bench.experiments [scale] [--json-out FILE]
 
-Produces the markdown blocks recorded in EXPERIMENTS.md. Scale 1.0 runs the
-paper's full Table 1 working sets (1024×1024 matrices, 288/343 molecules);
-the pytest benches use the same runners at reduced scale.
+Produces the markdown blocks recorded in EXPERIMENTS.md — and, with
+``--json-out``, a machine-readable document holding the raw per-platform
+virtual seconds plus every derived figure, so the recorded numbers
+regenerate from the artifact instead of stdout scraping. Scale 1.0 runs
+the paper's full Table 1 working sets (1024×1024 matrices, 288/343
+molecules); the pytest benches use the same runners at reduced scale.
+
+Each platform's suite runs **once**: the figures are derived from one
+shared ``preset -> label -> seconds`` map through the same pure helpers
+(:func:`repro.bench.runners.overhead_pct` and friends) that the baseline
+store's paper-shape gate applies to recorded telemetry.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.bench.loc_metrics import model_complexity_table
-from repro.bench.runners import (BENCH_LABELS, figure2_overhead,
-                                 figure3_hybrid_vs_sw, figure4_two_nodes,
-                                 table1_rows)
+from repro.bench.runners import (advantage_pct, normalized_pct, overhead_pct,
+                                 run_suite, table1_rows)
+from repro.config import preset
+
+#: schema identifier for the --json-out artifact
+EXPERIMENTS_SCHEMA = "repro.bench.experiments/1"
 
 PAPER_TABLE2 = {
     "SPMD model": (502, 23, 21.8),
@@ -32,6 +45,12 @@ PAPER_TABLE2 = {
     "Cray put/get (shmem) API": (505, 29, 17.4),
 }
 
+#: the platforms the figures need; native binding only for the Figure 2
+#: baseline
+_FIGURE_PRESETS = (("sw-dsm-4", False), ("native-jiajia-4", True),
+                   ("hybrid-4", False), ("smp-2", False),
+                   ("hybrid-2", False), ("sw-dsm-2", False))
+
 
 def md_table(headers: List[str], rows: List[List]) -> str:
     out = ["| " + " | ".join(headers) + " |",
@@ -40,6 +59,12 @@ def md_table(headers: List[str], rows: List[List]) -> str:
         cells = [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row]
         out.append("| " + " | ".join(cells) + " |")
     return "\n".join(out)
+
+
+def collect_times(scale: float) -> Dict[str, Dict[str, float]]:
+    """Run every figure platform once: preset -> label -> virtual seconds."""
+    return {name: run_suite(preset(name), scale=scale, native=native)
+            for name, native in _FIGURE_PRESETS}
 
 
 def gen_table1() -> str:
@@ -65,8 +90,8 @@ def gen_table2() -> str:
               f"(paper: < 25 lines/call).")
 
 
-def gen_figure2(scale: float) -> str:
-    data = figure2_overhead(scale=scale)
+def gen_figure2(scale: float, times: Dict[str, Dict[str, float]]) -> str:
+    data = overhead_pct(times["sw-dsm-4"], times["native-jiajia-4"])
     rows = [[label, round(v, 2)] for label, v in data.items()]
     return (f"### Figure 2 — Overhead of HAMSTER vs native JiaJia "
             f"(4 nodes, scale={scale})\n\n"
@@ -76,16 +101,16 @@ def gen_figure2(scale: float) -> str:
               "(paper: −4.5% … +6.5%).")
 
 
-def gen_figure3(scale: float) -> str:
-    data = figure3_hybrid_vs_sw(scale=scale)
+def gen_figure3(scale: float, times: Dict[str, Dict[str, float]]) -> str:
+    data = advantage_pct(times["sw-dsm-4"], times["hybrid-4"])
     rows = [[label, round(v, 2)] for label, v in data.items()]
     return (f"### Figure 3 — Hybrid-DSM advantage over SW-DSM "
             f"(4 nodes, scale={scale})\n\n"
             + md_table(["Benchmark", "advantage % (+ = hybrid faster)"], rows))
 
 
-def gen_figure4(scale: float) -> str:
-    data = figure4_two_nodes(scale=scale)
+def gen_figure4(scale: float, times: Dict[str, Dict[str, float]]) -> str:
+    data = normalized_pct(times["smp-2"], times["hybrid-2"], times["sw-dsm-2"])
     rows = [[label, 100.0, round(v["hybrid"], 1), round(v["software"], 1)]
             for label, v in data.items()]
     return (f"### Figure 4 — 2-node platforms, time normalized to the SMP "
@@ -94,21 +119,61 @@ def gen_figure4(scale: float) -> str:
                        rows))
 
 
+def experiments_doc(scale: float,
+                    times: Dict[str, Dict[str, float]]) -> Dict:
+    """The machine-readable artifact: raw times plus derived figures."""
+    complexity = [{"model": r.model, "lines": r.lines,
+                   "api_calls": r.api_calls,
+                   "lines_per_call": round(r.lines_per_call, 2)}
+                  for r in model_complexity_table()]
+    return {
+        "schema": EXPERIMENTS_SCHEMA,
+        "scale": scale,
+        "virtual_seconds": times,
+        "table2_complexity": complexity,
+        "figure2_overhead_pct":
+            overhead_pct(times["sw-dsm-4"], times["native-jiajia-4"]),
+        "figure3_advantage_pct":
+            advantage_pct(times["sw-dsm-4"], times["hybrid-4"]),
+        "figure4_normalized_pct":
+            normalized_pct(times["smp-2"], times["hybrid-2"],
+                           times["sw-dsm-2"]),
+    }
+
+
 def main(argv: List[str]) -> int:
-    scale = float(argv[1]) if len(argv) > 1 else 1.0
-    sections = [
-        ("Table 1", gen_table1, False),
-        ("Table 2", gen_table2, False),
-        ("Figure 2", gen_figure2, True),
-        ("Figure 3", gen_figure3, True),
-        ("Figure 4", gen_figure4, True),
-    ]
-    for name, fn, takes_scale in sections:
-        t0 = time.time()
-        block = fn(scale) if takes_scale else fn()
-        elapsed = time.time() - t0
+    parser = argparse.ArgumentParser(
+        prog=argv[0] if argv else "experiments",
+        description="regenerate the paper's tables and figures")
+    parser.add_argument("scale", nargs="?", type=float, default=1.0,
+                        help="working-set scale (1.0 = paper sizes)")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="also write the raw+derived numbers as JSON")
+    args = parser.parse_args(argv[1:])
+    scale = args.scale
+
+    t0 = time.time()
+    times = collect_times(scale)
+    collect_elapsed = time.time() - t0
+
+    print(gen_table1())
+    print()
+    print(gen_table2())
+    print()
+    for block in (gen_figure2(scale, times), gen_figure3(scale, times),
+                  gen_figure4(scale, times)):
         print(block)
-        print(f"\n*(regenerated in {elapsed:.1f}s wall-clock)*\n")
+        print()
+    print(f"*(platform suites regenerated in {collect_elapsed:.1f}s "
+          "wall-clock)*")
+
+    if args.json_out:
+        from repro.tools.export import write_text
+
+        write_text(args.json_out,
+                   json.dumps(experiments_doc(scale, times), indent=2,
+                              sort_keys=True) + "\n")
+        print(f"\njson telemetry: written to {args.json_out}")
     return 0
 
 

@@ -1,0 +1,203 @@
+"""Host-side profiling of the simulator itself.
+
+Everything else in ``repro`` measures *virtual* time — the simulated
+cluster's clock. This module measures the **host**: where does the real
+wall-clock time of a simulation run go, and how fast does the engine
+dispatch events? That is the number the ROADMAP's "as fast as the hardware
+allows" goal optimizes, and the telemetry records of
+:mod:`repro.bench.telemetry` gate.
+
+Two complementary instruments:
+
+* :class:`HostProfiler` — a thin cProfile wrapper: run any callable,
+  keep the top-N functions by cumulative host time, render them as the
+  optimization worklist (``python -m repro bench run --profile``).
+* :class:`PhaseWallTimers` — coarse per-phase wall timers wrapped around
+  the three host hot paths (engine event loop, active-message posting and
+  RPC, DSM protocol entry points). Timers are *inclusive*: a DSM fetch
+  that blocks on an RPC counts its wall time in both phases, so phases
+  overlap and do not sum to the total — they answer "which layer should
+  cProfile zoom into", not "what partitions the runtime" (that is the
+  virtual-time job of :mod:`repro.obs.critical_path`).
+
+Both instruments are pure host-side observers: they never touch the
+virtual clock, so instrumented runs stay bit-identical in simulated time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["HotFunction", "HostProfiler", "PhaseWallTimers",
+           "profile_host_call"]
+
+
+@dataclass
+class HotFunction:
+    """One row of the host profile: a function and its cumulative cost."""
+
+    name: str            # "module:lineno(function)"
+    calls: int
+    total_seconds: float  # time inside the function itself
+    cumulative_seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "calls": self.calls,
+                "total_seconds": self.total_seconds,
+                "cumulative_seconds": self.cumulative_seconds}
+
+
+class HostProfiler:
+    """cProfile a callable and digest the top-N hot functions.
+
+    The profiler may be reused: successive :meth:`run` calls accumulate
+    into the same underlying profile, which is what a min-of-N benchmark
+    repeat wants (one combined worklist, not N).
+    """
+
+    def __init__(self, top: int = 15) -> None:
+        self.top = top
+        self._profile = cProfile.Profile()
+        self.ran = False
+
+    # ---------------------------------------------------------------- running
+    def run(self, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn()`` under the profiler and return its result."""
+        self._profile.enable()
+        try:
+            return fn()
+        finally:
+            self._profile.disable()
+            self.ran = True
+
+    # ---------------------------------------------------------------- queries
+    def hot_functions(self, top: Optional[int] = None) -> List[HotFunction]:
+        """Top functions by cumulative host time, heaviest first."""
+        if not self.ran:
+            return []
+        stats = pstats.Stats(self._profile)
+        rows: List[HotFunction] = []
+        for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in \
+                stats.stats.items():  # type: ignore[attr-defined]
+            short = filename.rsplit("/", 1)[-1]
+            rows.append(HotFunction(name=f"{short}:{lineno}({funcname})",
+                                    calls=int(nc), total_seconds=float(tt),
+                                    cumulative_seconds=float(ct)))
+        rows.sort(key=lambda r: (-r.cumulative_seconds, r.name))
+        return rows[:top if top is not None else self.top]
+
+    def render(self, top: Optional[int] = None) -> str:
+        from repro.bench.report import render_table
+
+        rows = [[f.name, f.calls, f"{f.cumulative_seconds * 1e3:.2f}",
+                 f"{f.total_seconds * 1e3:.2f}"]
+                for f in self.hot_functions(top)]
+        return render_table(
+            ["function", "calls", "cum ms", "self ms"], rows,
+            title="host hot functions (cProfile, by cumulative wall time)")
+
+
+def profile_host_call(fn: Callable[[], Any],
+                      top: int = 15) -> Tuple[Any, HostProfiler]:
+    """One-shot helper: run ``fn`` under a fresh :class:`HostProfiler`."""
+    prof = HostProfiler(top=top)
+    result = prof.run(fn)
+    return result, prof
+
+
+# ------------------------------------------------------------- phase timers
+class PhaseWallTimers:
+    """Wall-clock accumulators around the simulator's host hot paths.
+
+    ``attach(platform)`` wraps, on that platform's live objects:
+
+    * ``engine.run``                  -> phase ``event_loop``
+    * ``fabric.layer.post`` / ``rpc`` -> phase ``am_delivery``
+    * ``dsm._access`` / ``lock`` / ``barrier`` -> phase ``dsm_protocol``
+
+    A per-phase reentrancy depth keeps recursive entries (a barrier that
+    triggers further DSM work) from double-counting. ``detach()`` restores
+    every wrapped attribute.
+    """
+
+    #: phase name -> (attribute owner key, method names)
+    _SITES = {
+        "event_loop": ("engine", ("run",)),
+        "am_delivery": ("am_layer", ("post", "rpc")),
+        "dsm_protocol": ("dsm", ("_access", "lock", "barrier")),
+    }
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.entries: Dict[str, int] = {}
+        self._depth: Dict[str, int] = {}
+        self._restore: List[Tuple[Any, str, Any]] = []
+        self._attached = False
+
+    # ------------------------------------------------------------- wrapping
+    def _wrap(self, owner: Any, method: str, phase: str) -> None:
+        original = getattr(owner, method)
+        depth = self._depth
+
+        def timed(*args: Any, **kwargs: Any) -> Any:
+            depth[phase] += 1
+            if depth[phase] > 1:
+                try:
+                    return original(*args, **kwargs)
+                finally:
+                    depth[phase] -= 1
+            self.entries[phase] += 1
+            t0 = time.perf_counter()
+            try:
+                return original(*args, **kwargs)
+            finally:
+                self.seconds[phase] += time.perf_counter() - t0
+                depth[phase] -= 1
+
+        self._restore.append((owner, method, original))
+        setattr(owner, method, timed)
+
+    def attach(self, platform) -> "PhaseWallTimers":
+        """Instrument a built platform (idempotent)."""
+        if self._attached:
+            return self
+        owners = {"engine": platform.engine, "dsm": platform.dsm,
+                  "am_layer": getattr(platform.fabric, "layer", None)
+                  if platform.fabric is not None else None}
+        for phase, (owner_key, methods) in self._SITES.items():
+            owner = owners[owner_key]
+            if owner is None:
+                continue  # SMP platform: no messaging fabric
+            self.seconds[phase] = 0.0
+            self.entries[phase] = 0
+            self._depth[phase] = 0
+            for method in methods:
+                self._wrap(owner, method, phase)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        for owner, method, original in reversed(self._restore):
+            setattr(owner, method, original)
+        self._restore.clear()
+        self._attached = False
+
+    # -------------------------------------------------------------- queries
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {phase: {"seconds": self.seconds[phase],
+                        "entries": float(self.entries[phase])}
+                for phase in sorted(self.seconds)}
+
+    def render(self) -> str:
+        from repro.bench.report import render_table
+
+        rows = [[phase, self.entries[phase],
+                 f"{self.seconds[phase] * 1e3:.2f}"]
+                for phase in sorted(self.seconds)]
+        return render_table(
+            ["phase", "entries", "wall ms (inclusive)"], rows,
+            title="host phase timers (overlapping; see docs/benchmarking.md)")

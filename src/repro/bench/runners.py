@@ -21,9 +21,10 @@ from repro.config import ClusterConfig, preset
 from repro.models.jiajia_api import JiaJiaApi
 from repro.models.native_jiajia import NativeJiaJiaApi
 
-__all__ = ["BENCH_LABELS", "run_app_on", "run_suite", "table1_rows",
-           "figure2_overhead", "figure3_hybrid_vs_sw", "figure4_two_nodes",
-           "WORKLOADS"]
+__all__ = ["BENCH_LABELS", "run_app_on", "run_app_detailed", "run_suite",
+           "table1_rows", "figure2_overhead", "figure3_hybrid_vs_sw",
+           "figure4_two_nodes", "overhead_pct", "advantage_pct",
+           "normalized_pct", "WORKLOADS"]
 
 #: Figure bar labels in the paper's order.
 BENCH_LABELS = ["MatMult", "PI", "SOR opt", "SOR", "LU all", "LU",
@@ -73,10 +74,13 @@ WORKLOADS: Dict[str, Workload] = {
 }
 
 
-def run_app_on(config: ClusterConfig, app: str, native: bool = False,
-               **params) -> AppResult:
-    """Build the platform from ``config``, run ``app`` on it under the
-    JiaJia API (HAMSTER or native binding), return the merged result."""
+def run_app_detailed(config: ClusterConfig, app: str, native: bool = False,
+                     **params):
+    """Like :func:`run_app_on`, but also return the built platform so the
+    caller can harvest telemetry (engine counters, spans, stats) from it.
+
+    Returns ``(merged AppResult, BuiltPlatform)``.
+    """
     plat = config.build()
     api = NativeJiaJiaApi(plat.hamster) if native else JiaJiaApi(plat.hamster)
     fn = get_app(app)
@@ -85,6 +89,14 @@ def run_app_on(config: ClusterConfig, app: str, native: bool = False,
     if not merged.verified:
         raise AssertionError(
             f"benchmark {app!r} failed verification on {config.name or config.platform}")
+    return merged, plat
+
+
+def run_app_on(config: ClusterConfig, app: str, native: bool = False,
+               **params) -> AppResult:
+    """Build the platform from ``config``, run ``app`` on it under the
+    JiaJia API (HAMSTER or native binding), return the merged result."""
+    merged, _plat = run_app_detailed(config, app, native=native, **params)
     return merged
 
 
@@ -119,6 +131,43 @@ def table1_rows() -> List[Tuple[str, str]]:
             for entry in APP_TABLE.values()]
 
 
+# ------------------------------------------------- figure math (pure)
+# The figure entry points below *run* platforms and then derive the paper's
+# percentages. The derivations are split out as pure functions over
+# label -> seconds mappings so that recorded telemetry (repro.bench.telemetry)
+# can re-derive the same figures from stored numbers without re-running —
+# the baseline store's paper-shape gate leans on this.
+
+def overhead_pct(t_hamster: Dict[str, float],
+                 t_native: Dict[str, float]) -> Dict[str, float]:
+    """Figure 2 sign convention: positive = HAMSTER slower than native."""
+    return {label: 100.0 * (t_hamster[label] - t_native[label]) / t_native[label]
+            for label in t_hamster if label in t_native}
+
+
+def advantage_pct(t_sw: Dict[str, float],
+                  t_hybrid: Dict[str, float]) -> Dict[str, float]:
+    """Figure 3 sign convention: positive = hybrid faster than SW-DSM."""
+    return {label: 100.0 * (t_sw[label] - t_hybrid[label]) / t_sw[label]
+            for label in t_sw if label in t_hybrid}
+
+
+def normalized_pct(t_hw: Dict[str, float], t_hy: Dict[str, float],
+                   t_sw: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Figure 4 normalization: SMP = 100%, larger = slower."""
+    out: Dict[str, Dict[str, float]] = {}
+    for label in t_hw:
+        if label not in t_hy or label not in t_sw:
+            continue
+        base = t_hw[label]
+        out[label] = {
+            "hardware": 100.0,
+            "hybrid": 100.0 * t_hy[label] / base if base else float("nan"),
+            "software": 100.0 * t_sw[label] / base if base else float("nan"),
+        }
+    return out
+
+
 # ---------------------------------------------------------------- Figure 2
 def figure2_overhead(scale: float = 1.0, nodes: int = 4,
                      labels: Optional[List[str]] = None) -> Dict[str, float]:
@@ -131,8 +180,7 @@ def figure2_overhead(scale: float = 1.0, nodes: int = 4,
     native_cfg = preset(f"native-jiajia-{nodes}")
     t_hamster = run_suite(hamster_cfg, scale=scale, labels=labels)
     t_native = run_suite(native_cfg, scale=scale, native=True, labels=labels)
-    return {label: 100.0 * (t_hamster[label] - t_native[label]) / t_native[label]
-            for label in t_hamster}
+    return overhead_pct(t_hamster, t_native)
 
 
 # ---------------------------------------------------------------- Figure 3
@@ -145,8 +193,7 @@ def figure3_hybrid_vs_sw(scale: float = 1.0, nodes: int = 4,
     """
     t_sw = run_suite(preset(f"sw-dsm-{nodes}"), scale=scale, labels=labels)
     t_hy = run_suite(preset(f"hybrid-{nodes}"), scale=scale, labels=labels)
-    return {label: 100.0 * (t_sw[label] - t_hy[label]) / t_sw[label]
-            for label in t_sw}
+    return advantage_pct(t_sw, t_hy)
 
 
 # ---------------------------------------------------------------- Figure 4
@@ -161,12 +208,4 @@ def figure4_two_nodes(scale: float = 1.0,
     t_hw = run_suite(preset("smp-2"), scale=scale, labels=labels)
     t_hy = run_suite(preset("hybrid-2"), scale=scale, labels=labels)
     t_sw = run_suite(preset("sw-dsm-2"), scale=scale, labels=labels)
-    out: Dict[str, Dict[str, float]] = {}
-    for label in t_hw:
-        base = t_hw[label]
-        out[label] = {
-            "hardware": 100.0,
-            "hybrid": 100.0 * t_hy[label] / base if base else float("nan"),
-            "software": 100.0 * t_sw[label] / base if base else float("nan"),
-        }
-    return out
+    return normalized_pct(t_hw, t_hy, t_sw)

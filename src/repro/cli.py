@@ -21,10 +21,19 @@ Commands:
       python -m repro trace --preset sw-dsm-4 --app sor --param n=128 \\
           --trace-out sor.trace.json
 
+* ``bench`` — benchmark telemetry and regression gating
+  (:mod:`repro.bench.telemetry` / :mod:`repro.bench.baseline`)::
+
+      python -m repro bench run --suite smoke --json-out BENCH_smoke.json
+      python -m repro bench compare --json BENCH_smoke.json
+      python -m repro bench update-baseline --json BENCH_smoke.json
+      python -m repro bench report --json BENCH_smoke.json --out report.md
+
 * ``platforms`` — list the named platform presets.
 * ``apps`` — list the benchmark applications and their paper working sets.
 * ``experiments`` — regenerate all tables/figures (delegates to
-  :mod:`repro.bench.experiments`).
+  :mod:`repro.bench.experiments`); ``--json-out`` records the numbers as
+  a machine-readable artifact.
 
 A ``--config FILE`` may replace ``--preset`` to build the platform from an
 INI-style cluster configuration (§3.3), reproducing the paper's
@@ -188,12 +197,80 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_options(trace)
     _add_obs_options(trace)
 
+    bench = sub.add_parser(
+        "bench", help="benchmark telemetry: run suites, gate regressions")
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    brun = bsub.add_parser("run", help="run a suite, record telemetry")
+    brun.add_argument("--suite", default="smoke",
+                      help="suite name (smoke, paper)")
+    brun.add_argument("--scale", type=float, default=None,
+                      help="override the suite's working-set scale")
+    brun.add_argument("--repeat", type=int, default=1, metavar="N",
+                      help="host-time repeats per benchmark (min-of-N; "
+                           "virtual times must be identical)")
+    brun.add_argument("--only", metavar="SUBSTR",
+                      help="run only unit ids containing SUBSTR "
+                           "(e.g. 'sw-dsm-2/PI')")
+    brun.add_argument("--json-out", metavar="FILE",
+                      help="write the telemetry document (BENCH_<suite>.json)")
+    brun.add_argument("--profile", action="store_true",
+                      help="cProfile the whole suite and print the host "
+                           "hot-function worklist")
+    brun.add_argument("--baseline", metavar="FILE",
+                      help="compare against this baseline right after "
+                           "running (exit non-zero on hard regression)")
+
+    bcmp = bsub.add_parser(
+        "compare", help="compare recorded telemetry against a baseline")
+    bcmp.add_argument("--json", required=True, metavar="FILE",
+                      help="telemetry document to check (from bench run)")
+    bcmp.add_argument("--baseline", metavar="FILE",
+                      help="baseline document (default: "
+                           "benchmarks/baselines/<suite>.json)")
+    bcmp.add_argument("--threshold", action="append", type=_parse_param,
+                      default=[], metavar="METRIC=PCT",
+                      help="per-metric threshold override in percent "
+                           "(repeatable)")
+    bcmp.add_argument("--no-shape", action="store_true",
+                      help="skip the paper-shape gate")
+    bcmp.add_argument("--show-ok", action="store_true",
+                      help="also list metrics whose verdict is 'ok'")
+
+    bupd = bsub.add_parser(
+        "update-baseline", help="promote a telemetry document to baseline")
+    bupd.add_argument("--json", metavar="FILE",
+                      help="telemetry document to promote (omit to run the "
+                           "suite fresh)")
+    bupd.add_argument("--suite", default="smoke",
+                      help="suite to run when --json is omitted")
+    bupd.add_argument("--repeat", type=int, default=3, metavar="N",
+                      help="repeats when running fresh (default 3)")
+    bupd.add_argument("--baseline", metavar="FILE",
+                      help="target path (default: "
+                           "benchmarks/baselines/<suite>.json)")
+
+    brep = bsub.add_parser(
+        "report", help="render telemetry as markdown or HTML")
+    brep.add_argument("--json", required=True, metavar="FILE",
+                      help="telemetry document to render")
+    brep.add_argument("--baseline", metavar="FILE",
+                      help="baseline to include a comparison section")
+    brep.add_argument("--metrics", metavar="FILE",
+                      help="metrics-sampler JSON (--metrics-out of 'run') "
+                           "to merge in")
+    brep.add_argument("--out", metavar="FILE",
+                      help="output path (.html renders HTML; default: "
+                           "markdown to stdout)")
+
     sub.add_parser("platforms", help="list platform presets")
     sub.add_parser("apps", help="list benchmarks and working sets")
 
     exp = sub.add_parser("experiments", help="regenerate all tables/figures")
     exp.add_argument("--scale", type=float, default=1.0,
                      help="working-set scale (1.0 = paper sizes)")
+    exp.add_argument("--json-out", metavar="FILE",
+                     help="also record raw+derived numbers as JSON")
     return parser
 
 
@@ -225,7 +302,16 @@ def _cmd_run(args) -> int:
     plat = config.build()
     api = NativeJiaJiaApi(plat.hamster) if args.native else JiaJiaApi(plat.hamster)
     fn = get_app(args.app)
-    per_rank = api.run(lambda a: fn(a, **params))
+    profiler = timers = None
+    if args.profile:
+        from repro.bench.hostprof import HostProfiler, PhaseWallTimers
+
+        profiler = HostProfiler()
+        timers = PhaseWallTimers().attach(plat)
+    do_run = lambda: api.run(lambda a: fn(a, **params))
+    per_rank = profiler.run(do_run) if profiler is not None else do_run()
+    if timers is not None:
+        timers.detach()
     merged = merge_rank_results(per_rank)
 
     print(f"platform : {plat.hamster.platform_description()}"
@@ -238,7 +324,8 @@ def _cmd_run(args) -> int:
         from repro.tools import profile_platform
 
         print()
-        print(profile_platform(plat).render())
+        print(profile_platform(plat, host_profiler=profiler,
+                               phase_timers=timers).render())
     if args.json:
         from repro.tools.export import run_to_json, write_text
 
@@ -320,6 +407,140 @@ def _cmd_trace(args) -> int:
     return 0 if merged.verified else 1
 
 
+def _default_baseline_path(suite: str) -> str:
+    import os.path
+
+    return os.path.join("benchmarks", "baselines", f"{suite}.json")
+
+
+def _print_bench_summary(doc) -> None:
+    from repro.bench.report import render_table
+
+    rows = []
+    for rec in doc["records"]:
+        cp = rec["critical_path"]
+        cp_total = sum(cp.values()) or 1.0
+        rows.append([rec["id"], f"{rec['virtual_seconds'] * 1e3:.3f}",
+                     rec["events_executed"],
+                     f"{rec['events_per_sec']:,.0f}",
+                     f"{rec['host_seconds'] * 1e3:.1f}",
+                     f"{100.0 * cp.get('compute', 0.0) / cp_total:.0f}%"])
+    print(render_table(
+        ["benchmark", "virtual ms", "events", "events/s", "host ms",
+         "compute"],
+        rows, title=f"suite {doc['suite']!r} at scale {doc['scale']} "
+                    f"({len(rows)} benchmarks, repeat {doc['repeat']})"))
+
+
+def _bench_compare(doc, baseline_path, thresholds=None, shape=True,
+                   show_ok=False) -> int:
+    import os.path
+
+    from repro.bench.baseline import compare_docs
+    from repro.bench.telemetry import load_telemetry
+
+    if not os.path.exists(baseline_path):
+        print(f"no baseline at {baseline_path} — every benchmark is new; "
+              f"seed one with: python -m repro bench update-baseline "
+              f"--suite {doc['suite']}")
+        return 1
+    baseline = load_telemetry(baseline_path)
+    result = compare_docs(doc, baseline, thresholds_pct=thresholds,
+                          shape=shape)
+    print(result.render(show_ok=show_ok))
+    return result.exit_code()
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.telemetry import (load_telemetry, run_suite_telemetry,
+                                       telemetry_to_json, validate_telemetry)
+    from repro.tools.export import write_text
+
+    if args.bench_command == "run":
+        profiler = None
+        if args.profile:
+            from repro.bench.hostprof import HostProfiler
+
+            profiler = HostProfiler(top=20)
+        doc = run_suite_telemetry(
+            args.suite, scale=args.scale, repeat=args.repeat, only=args.only,
+            profiler=profiler,
+            progress=lambda unit: print(f"[bench] {unit}"))
+        if not doc["records"]:
+            print(f"--only {args.only!r} matched no benchmark in suite "
+                  f"{args.suite!r}")
+            return 2
+        errors = validate_telemetry(doc)
+        if errors:  # a telemetry bug, not a perf problem — fail loudly
+            for err in errors:
+                print(f"schema error: {err}")
+            return 2
+        print()
+        _print_bench_summary(doc)
+        if args.json_out:
+            write_text(args.json_out, telemetry_to_json(doc))
+            print(f"telemetry: written to {args.json_out}")
+        if profiler is not None:
+            print()
+            print(profiler.render())
+        if args.baseline:
+            print()
+            return _bench_compare(doc, args.baseline)
+        return 0
+
+    if args.bench_command == "compare":
+        doc = load_telemetry(args.json)
+        baseline_path = args.baseline or _default_baseline_path(doc["suite"])
+        thresholds = {k: float(v) for k, v in args.threshold}
+        return _bench_compare(doc, baseline_path, thresholds=thresholds,
+                              shape=not args.no_shape, show_ok=args.show_ok)
+
+    if args.bench_command == "update-baseline":
+        if args.json:
+            doc = load_telemetry(args.json)
+        else:
+            doc = run_suite_telemetry(
+                args.suite, repeat=args.repeat,
+                progress=lambda unit: print(f"[bench] {unit}"))
+        target = args.baseline or _default_baseline_path(doc["suite"])
+        import os
+
+        os.makedirs(os.path.dirname(target) or ".", exist_ok=True)
+        write_text(target, telemetry_to_json(doc))
+        print(f"baseline : {len(doc['records'])} records written to {target}")
+        return 0
+
+    if args.bench_command == "report":
+        import json as _json
+        import os.path
+
+        from repro.bench.report import telemetry_html, telemetry_markdown
+
+        doc = load_telemetry(args.json)
+        compare = None
+        if args.baseline and os.path.exists(args.baseline):
+            from repro.bench.baseline import compare_docs
+
+            compare = compare_docs(doc, load_telemetry(args.baseline))
+        metrics = None
+        if args.metrics:
+            with open(args.metrics, "r", encoding="utf-8") as fh:
+                metrics = _json.load(fh)
+        if args.out and args.out.endswith(".html"):
+            text = telemetry_html(doc, compare=compare, metrics=metrics)
+        else:
+            text = telemetry_markdown(doc, compare=compare, metrics=metrics)
+        if args.out:
+            write_text(args.out, text)
+            print(f"report   : written to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    raise AssertionError(
+        f"unhandled bench command {args.bench_command!r}")  # pragma: no cover
+
+
 def _cmd_platforms() -> int:
     for name in sorted(PRESETS):
         cfg = PRESETS[name]
@@ -344,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "platforms":
         return _cmd_platforms()
     if args.command == "apps":
@@ -351,7 +574,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiments":
         from repro.bench.experiments import main as experiments_main
 
-        return experiments_main(["experiments", str(args.scale)])
+        argv_exp = ["experiments", str(args.scale)]
+        if args.json_out:
+            argv_exp += ["--json-out", args.json_out]
+        return experiments_main(argv_exp)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

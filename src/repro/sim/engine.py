@@ -15,6 +15,7 @@ needed anywhere in the framework.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
@@ -49,6 +50,11 @@ class Engine:
         # cost, bit-identical runs. ClusterConfig.build swaps in a real
         # ObsRecorder when observability is requested.
         self.obs = NULL_OBS
+        # Host-side telemetry (repro.bench): how many events this engine has
+        # dispatched and how much real wall-clock time run() has consumed.
+        # Plain counters — they never influence virtual time.
+        self.events_executed: int = 0
+        self.host_seconds: float = 0.0
         # Exception raised inside a process thread, re-raised from run().
         self._pending_exc: Optional[BaseException] = None
 
@@ -57,6 +63,13 @@ class Engine:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def events_per_second(self) -> float:
+        """Host-side dispatch rate (events / wall-clock second) across all
+        run() calls so far; 0.0 before the first run."""
+        if self.host_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.host_seconds
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Schedule ``action()`` to run ``delay`` seconds from now.
@@ -106,6 +119,7 @@ class Engine:
         if self._running:
             raise SimulationError("engine is already running (no nested run())")
         self._running = True
+        host_t0 = _time.perf_counter()
         try:
             while self._queue:
                 when, _seq, action = heapq.heappop(self._queue)
@@ -115,6 +129,7 @@ class Engine:
                     self._now = until
                     return self._now
                 self._now = when
+                self.events_executed += 1
                 action()
                 if self._pending_exc is not None:
                     exc, self._pending_exc = self._pending_exc, None
@@ -126,6 +141,7 @@ class Engine:
             return self._now
         finally:
             self._running = False
+            self.host_seconds += _time.perf_counter() - host_t0
 
     def run_process(self, fn, *args, name: str = "proc", **kwargs):
         """Convenience: wrap ``fn`` in a process, run to completion, return

@@ -55,6 +55,9 @@ def run_to_json(result, platform=None, indent: int = 2) -> str:
         doc["platform"] = report.platform
         doc["total_virtual_seconds"] = report.total_time
         doc["wire"] = {"messages": report.messages, "bytes": report.wire_bytes}
+        doc["engine"] = {"events_executed": report.events_executed,
+                         "host_seconds": report.host_seconds,
+                         "events_per_sec": report.events_per_sec}
         doc["ranks"] = [_jsonable(vars(r)) for r in report.ranks]
     return json.dumps(doc, indent=indent, sort_keys=True)
 

@@ -1,0 +1,118 @@
+"""Tests for host-side profiling (repro.bench.hostprof)."""
+
+import pytest
+
+from repro.bench.hostprof import (HostProfiler, PhaseWallTimers,
+                                  profile_host_call)
+from repro.config import preset
+from tests.conftest import spmd
+
+
+def tiny_run(plat):
+    def main(env):
+        x = env.alloc_array((8,), name="x")
+        env.barrier()
+        if env.rank == 0:
+            x[:] = 1.0
+        env.barrier()
+        return float(x[0])
+
+    return spmd(plat, main)
+
+
+class TestHostProfiler:
+    def test_profiles_a_simulation_run(self):
+        plat = preset("sw-dsm-2").build()
+        prof = HostProfiler(top=5)
+        prof.run(lambda: tiny_run(plat))
+        hot = prof.hot_functions()
+        assert 0 < len(hot) <= 5
+        assert all(f.cumulative_seconds >= f.total_seconds >= 0 or
+                   f.cumulative_seconds >= 0 for f in hot)
+        # heaviest first
+        cums = [f.cumulative_seconds for f in hot]
+        assert cums == sorted(cums, reverse=True)
+        # engine dispatch must show up in any simulation profile
+        all_names = " ".join(f.name for f in prof.hot_functions(top=200))
+        assert "engine.py" in all_names
+
+    def test_empty_before_run(self):
+        prof = HostProfiler()
+        assert prof.hot_functions() == []
+        assert not prof.ran
+
+    def test_accumulates_across_runs(self):
+        prof = HostProfiler()
+        prof.run(lambda: sum(range(1000)))
+        first = {f.name: f.calls for f in prof.hot_functions(top=200)}
+        prof.run(lambda: sum(range(1000)))
+        second = {f.name: f.calls for f in prof.hot_functions(top=200)}
+        sums = [n for n in second if "sum" in n]
+        assert sums and second[sums[0]] > first[sums[0]]
+
+    def test_returns_callable_result(self):
+        result, prof = profile_host_call(lambda: 41 + 1)
+        assert result == 42
+        assert prof.ran
+
+    def test_render(self):
+        prof = HostProfiler(top=3)
+        prof.run(lambda: sorted(range(100)))
+        text = prof.render()
+        assert "host hot functions" in text
+        assert "cum ms" in text
+
+
+class TestPhaseWallTimers:
+    def test_attach_measures_and_detach_restores(self):
+        plat = preset("sw-dsm-2").build()
+        originals = (plat.engine.run, plat.dsm.barrier)
+        timers = PhaseWallTimers().attach(plat)
+        assert plat.engine.run is not originals[0]
+        tiny_run(plat)
+        timers.detach()
+        assert plat.engine.run == originals[0]
+        assert plat.dsm.barrier == originals[1]
+        assert set(timers.seconds) == {"event_loop", "am_delivery",
+                                       "dsm_protocol"}
+        assert timers.entries["event_loop"] >= 1
+        assert timers.seconds["event_loop"] > 0
+        assert timers.entries["dsm_protocol"] > 0
+        data = timers.as_dict()
+        assert data["event_loop"]["seconds"] == timers.seconds["event_loop"]
+
+    def test_attach_is_idempotent(self):
+        plat = preset("sw-dsm-2").build()
+        timers = PhaseWallTimers()
+        timers.attach(plat)
+        wrapped = plat.engine.run
+        timers.attach(plat)
+        assert plat.engine.run is wrapped
+        timers.detach()
+
+    def test_smp_platform_skips_am_delivery(self):
+        plat = preset("smp-2").build()
+        assert plat.fabric is None
+        timers = PhaseWallTimers().attach(plat)
+        tiny_run(plat)
+        timers.detach()
+        assert "am_delivery" not in timers.seconds
+        assert timers.entries["event_loop"] >= 1
+
+    def test_virtual_time_unchanged_by_instrumentation(self):
+        bare = preset("sw-dsm-2").build()
+        tiny_run(bare)
+        timed = preset("sw-dsm-2").build()
+        timers = PhaseWallTimers().attach(timed)
+        tiny_run(timed)
+        timers.detach()
+        assert timed.engine.now == bare.engine.now
+
+    def test_render(self):
+        plat = preset("sw-dsm-2").build()
+        timers = PhaseWallTimers().attach(plat)
+        tiny_run(plat)
+        timers.detach()
+        text = timers.render()
+        assert "host phase timers" in text
+        assert "event_loop" in text and "dsm_protocol" in text

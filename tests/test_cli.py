@@ -139,3 +139,108 @@ class TestObservabilityCommands:
         assert code == 0
         assert "outcome  : completed" in capsys.readouterr().out
         assert validate_chrome_trace(path.read_text()) == []
+
+
+class TestBenchCommands:
+    ONLY = ["--only", "sw-dsm-2/PI"]
+
+    def test_parsing_defaults(self):
+        args = build_parser().parse_args(["bench", "run"])
+        assert args.suite == "smoke" and args.repeat == 1
+        args = build_parser().parse_args(
+            ["bench", "compare", "--json", "x.json",
+             "--threshold", "host_seconds=50"])
+        assert dict(args.threshold) == {"host_seconds": 50}
+
+    def test_bench_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_run_writes_valid_telemetry(self, tmp_path, capsys):
+        from repro.bench.telemetry import load_telemetry
+
+        out = tmp_path / "BENCH_smoke.json"
+        code = main(["bench", "run", "--scale", "0.02", *self.ONLY,
+                     "--json-out", str(out)])
+        assert code == 0
+        doc = load_telemetry(str(out))  # raises if schema-invalid
+        assert [r["id"] for r in doc["records"]] == ["sw-dsm-2/PI"]
+        stdout = capsys.readouterr().out
+        assert "[bench] sw-dsm-2/PI" in stdout
+        assert "events/s" in stdout
+
+    def test_run_only_no_match_fails(self, capsys):
+        code = main(["bench", "run", "--only", "no-such-benchmark"])
+        assert code == 2
+        assert "matched no benchmark" in capsys.readouterr().out
+
+    def test_run_with_profile_prints_worklist(self, capsys):
+        code = main(["bench", "run", "--scale", "0.02", *self.ONLY,
+                     "--profile"])
+        assert code == 0
+        assert "host hot functions" in capsys.readouterr().out
+
+    def test_compare_against_missing_baseline(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["bench", "run", "--scale", "0.02", *self.ONLY,
+                     "--json-out", str(out)]) == 0
+        code = main(["bench", "compare", "--json", str(out),
+                     "--baseline", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "update-baseline" in capsys.readouterr().out
+
+    def test_update_baseline_then_compare_clean(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        base = tmp_path / "base.json"
+        assert main(["bench", "run", "--scale", "0.02", *self.ONLY,
+                     "--json-out", str(out)]) == 0
+        assert main(["bench", "update-baseline", "--json", str(out),
+                     "--baseline", str(base)]) == 0
+        assert base.exists()
+        capsys.readouterr()
+        code = main(["bench", "compare", "--json", str(out),
+                     "--baseline", str(base), "--show-ok"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "verdicts:" in stdout and "ok=" in stdout
+        assert "result: ok" in stdout
+
+    def test_compare_flags_synthetic_regression(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t.json"
+        base = tmp_path / "base.json"
+        assert main(["bench", "run", "--scale", "0.02", *self.ONLY,
+                     "--json-out", str(out)]) == 0
+        assert main(["bench", "update-baseline", "--json", str(out),
+                     "--baseline", str(base)]) == 0
+        doc = json.loads(out.read_text())
+        doc["records"][0]["virtual_seconds"] *= 1.05  # +5% virtual time
+        out.write_text(json.dumps(doc))
+        capsys.readouterr()
+        code = main(["bench", "compare", "--json", str(out),
+                     "--baseline", str(base)])
+        assert code == 1
+        assert "HARD REGRESSION" in capsys.readouterr().out
+
+    def test_report_markdown_and_html(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["bench", "run", "--scale", "0.02", *self.ONLY,
+                     "--json-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--json", str(out)]) == 0
+        assert "# Benchmark telemetry" in capsys.readouterr().out
+        html = tmp_path / "report.html"
+        assert main(["bench", "report", "--json", str(out),
+                     "--out", str(html)]) == 0
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_experiments_json_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "experiments.json"
+        assert main(["experiments", "--scale", "0.02",
+                     "--json-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.bench.experiments/1"
+        assert doc["figure3_advantage_pct"]

@@ -129,6 +129,28 @@ class TestProfileReport:
         assert report.messages == 0
         assert report.rank(0).faults == 0  # hardware coherence: no faults
 
+    def test_host_engine_counters_reported(self):
+        plat = preset("sw-dsm-2").build()
+        run_workload(plat)
+        report = profile_platform(plat)
+        assert report.events_executed == plat.engine.events_executed > 0
+        assert report.host_seconds == plat.engine.host_seconds > 0
+        assert report.events_per_sec > 0
+        assert "engine events" in report.render()
+
+    def test_render_includes_host_instruments(self):
+        from repro.bench.hostprof import HostProfiler, PhaseWallTimers
+
+        plat = preset("sw-dsm-2").build()
+        prof = HostProfiler(top=5)
+        timers = PhaseWallTimers().attach(plat)
+        prof.run(lambda: run_workload(plat))
+        timers.detach()
+        text = profile_platform(plat, host_profiler=prof,
+                                phase_timers=timers).render()
+        assert "host hot functions" in text
+        assert "host phase timers" in text
+
 
 class TestTraceSummary:
     def _traced_platform(self):
