@@ -255,13 +255,32 @@ class GlobalMemorySystem(ABC):
             st.reset()
 
     # ------------------------------------------------------------- helpers
+    def _page_spans(self, region: Region, runs: List[Run]) -> List[Tuple[int, int]]:
+        """Sorted, disjoint inclusive page spans touched by ``runs``.
+
+        One ``(first, last)`` pair per maximal contiguous page extent:
+        adjacent and overlapping runs coalesce, so a bulk access costs two
+        integers of metadata instead of one entry per page. Substrates walk
+        these spans and expand to individual pages only across
+        protection-state boundaries (see
+        :meth:`~repro.memory.page.PageTable.faulting_in_spans`).
+        """
+        spans: List[Tuple[int, int]] = []
+        for off, ln in runs:  # runs are sorted and merged by SharedArray
+            span = region.span_for(off, ln)
+            if span is None:
+                continue
+            first, last = span
+            if spans and first <= spans[-1][1] + 1:
+                if last > spans[-1][1]:
+                    spans[-1] = (spans[-1][0], last)
+            else:
+                spans.append((first, last))
+        return spans
+
     def _pages_touched(self, region: Region, runs: List[Run]) -> List[int]:
         """Sorted, deduplicated global page numbers touched by ``runs``."""
         pages: List[int] = []
-        last = -1
-        for off, ln in runs:  # runs are sorted and merged by SharedArray
-            for p in region.pages_for(off, ln):
-                if p > last:
-                    pages.append(p)
-                    last = p
+        for first, last in self._page_spans(region, runs):
+            pages.extend(range(first, last + 1))
         return pages

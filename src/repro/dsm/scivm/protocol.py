@@ -98,14 +98,23 @@ class SciVmSystem(GlobalMemorySystem):
         st = self.rank_stats[rank]
         local_bytes = 0
         # Per-page byte attribution: split each run at page boundaries.
+        # Remote transactions stay per page chunk (that is how the hardware
+        # issues them, and what the cost model charges); the span treatment
+        # here is host-side only — resolved homes come from one dict probe
+        # per page, falling back to the first-touch path on a miss.
         psize = self.space.page_size
+        home_map = self._home
+        placement = self.placement
+        src_node = placement[rank]
         for off, ln in runs:
             gaddr = region.gaddr + off
             end = gaddr + ln
             while gaddr < end:
                 page = gaddr // psize
                 chunk = min(end, (page + 1) * psize) - gaddr
-                home = self.home_of(page, rank)
+                home = home_map.get(page)
+                if home is None:
+                    home = self.home_of(page, rank)
                 if home == rank:
                     local_bytes += chunk
                 else:
@@ -113,12 +122,12 @@ class SciVmSystem(GlobalMemorySystem):
                         st.pages_mapped += 1
                     if write:
                         st.remote_writes += 1
-                        self.sci.remote_write(chunk, src=self.node_of(rank),
-                                              dst=self.node_of(home))
+                        self.sci.remote_write(chunk, src=src_node,
+                                              dst=placement[home])
                     else:
                         st.remote_reads += 1
-                        self.sci.remote_read(chunk, src=self.node_of(rank),
-                                             dst=self.node_of(home))
+                        self.sci.remote_read(chunk, src=src_node,
+                                             dst=placement[home])
                 gaddr += chunk
         if local_bytes:
             node.mem_touch(local_bytes)

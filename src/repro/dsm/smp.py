@@ -63,6 +63,9 @@ class SmpMemorySystem(GlobalMemorySystem):
     # --------------------------------------------------------------- access
     def _access(self, rank: int, region: Region, runs: List[Run],
                 write: bool) -> np.ndarray:
+        # UMA is the degenerate span case: every access is one local span
+        # with no protection states to expand at, so the whole run list
+        # collapses to a single bulk bus charge.
         node = self.cluster.node(self.node_of(rank))
         nbytes = sum(ln for _, ln in runs)
         node.mem_touch(nbytes)  # serialized on the shared bus

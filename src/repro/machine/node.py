@@ -43,6 +43,9 @@ class Node:
         self.params = params
         self.n_cpus = n_cpus if n_cpus is not None else params.cpus_per_node
         self.bus = MemoryBus(engine, params, name=f"bus{node_id}")
+        # Hoisted from the compute() hot path; the memoized derived value
+        # equals params.seconds_per_flop() exactly.
+        self._sec_per_flop = params.seconds_per_flop()
         #: accumulated compute seconds charged on this node (monitoring)
         self.compute_time: float = 0.0
 
@@ -54,7 +57,7 @@ class Node:
         """Charge the calling process for ``flops`` floating-point operations."""
         if flops <= 0:
             return
-        t = flops * self.params.seconds_per_flop()
+        t = flops * self._sec_per_flop
         self.compute_time += t
         self.engine.require_process().hold(t)
 

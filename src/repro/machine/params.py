@@ -11,9 +11,29 @@ robust.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+from dataclasses import dataclass, fields, replace
+from functools import cached_property
+from typing import Dict, NamedTuple
 
-__all__ = ["MachineParams", "PAPER_PLATFORM"]
+__all__ = ["MachineParams", "DerivedCosts", "PAPER_PLATFORM"]
+
+
+class DerivedCosts(NamedTuple):
+    """Values derived from :class:`MachineParams` fields, computed once.
+
+    Every entry is the result of the *exact* expression the cost model used
+    to evaluate inline — memoization here can never change a simulated
+    timestamp, only host time (the golden-run harness enforces this).
+    """
+
+    seconds_per_flop: float
+    msg_stack_overhead: float
+
+
+#: Derived-cost cache keyed by config fingerprint: equal parameter sets
+#: share one entry no matter how many copies of the dataclass exist.
+_DERIVED_CACHE: Dict[str, DerivedCosts] = {}
 
 
 @dataclass(frozen=True)
@@ -133,15 +153,38 @@ class MachineParams:
         """Return a copy with the given fields replaced."""
         return replace(self, **kw)
 
+    # ------------------------------------------------------------- identity
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable digest of every field value.
+
+        Because the dataclass is frozen, the fingerprint is immutable and
+        identifies this *configuration* (not this instance): two params
+        objects built with the same values share a fingerprint, and hence
+        share one derived-cost cache entry.
+        """
+        payload = ";".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    @cached_property
+    def _derived(self) -> DerivedCosts:
+        cached = _DERIVED_CACHE.get(self.fingerprint)
+        if cached is None:
+            cached = _DERIVED_CACHE[self.fingerprint] = DerivedCosts(
+                seconds_per_flop=1.0 / self.flops_per_second,
+                msg_stack_overhead=(self.msg_stack_overhead_integrated
+                                    if self.coalesce_messaging
+                                    else self.msg_stack_overhead_separate))
+        return cached
+
     # ------------------------------------------------------------- helpers
     def seconds_per_flop(self) -> float:
-        return 1.0 / self.flops_per_second
+        return self._derived.seconds_per_flop
 
     def msg_stack_overhead(self) -> float:
         """Per-message software overhead under the active messaging config."""
-        if self.coalesce_messaging:
-            return self.msg_stack_overhead_integrated
-        return self.msg_stack_overhead_separate
+        return self._derived.msg_stack_overhead
 
 
 #: Default parameters mirroring the paper's testbed.

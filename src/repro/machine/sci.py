@@ -17,7 +17,7 @@ Two faces:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.machine.interconnect import Network
 from repro.machine.params import MachineParams
@@ -34,6 +34,15 @@ class SciInterconnect(Network):
         self.latency = params.sci_write_latency  # messages ride posted writes
         self.bandwidth = params.sci_write_bandwidth
         self.framing_bytes = 16
+        # Ring-hop latency table: hop_delay() reduces to one indexed load.
+        # Each entry is the product the old code computed per call, so the
+        # memoized cost is bit-identical.
+        self._hop_cost: List[float] = [
+            h * params.sci_hop_latency for h in range(n_nodes)]
+        # Per-size transfer-time memos for the transaction API (page-sized
+        # reads/writes dominate, so the key set stays tiny).
+        self._read_tx: Dict[int, float] = {}
+        self._write_tx: Dict[int, float] = {}
         # ------------------------------------------------- statistics
         self.remote_reads = 0
         self.remote_writes = 0
@@ -58,8 +67,7 @@ class SciInterconnect(Network):
         if (src is None or dst is None or src == dst
                 or self.params.sci_hop_latency <= 0):
             return 0.0
-        hops = (dst - src) % self.n_nodes
-        return hops * self.params.sci_hop_latency
+        return self._hop_cost[(dst - src) % self.n_nodes]
 
     def remote_read(self, nbytes: int, src: Optional[int] = None,
                     dst: Optional[int] = None) -> None:
@@ -68,8 +76,10 @@ class SciInterconnect(Network):
         if nbytes <= 0:
             return
         p = self.params
-        cost = (p.sci_read_latency + self.hop_delay(src, dst)
-                + nbytes / p.sci_read_bandwidth)
+        tx = self._read_tx.get(nbytes)
+        if tx is None:
+            tx = self._read_tx[nbytes] = nbytes / p.sci_read_bandwidth
+        cost = p.sci_read_latency + self.hop_delay(src, dst) + tx
         self.remote_reads += 1
         self.remote_read_bytes += nbytes
         self.engine.require_process().hold(cost)
@@ -82,8 +92,10 @@ class SciInterconnect(Network):
         if nbytes <= 0:
             return
         p = self.params
-        cost = (p.sci_write_latency + self.hop_delay(src, dst)
-                + nbytes / p.sci_write_bandwidth)
+        tx = self._write_tx.get(nbytes)
+        if tx is None:
+            tx = self._write_tx[nbytes] = nbytes / p.sci_write_bandwidth
+        cost = p.sci_write_latency + self.hop_delay(src, dst) + tx
         self.remote_writes += 1
         self.remote_write_bytes += nbytes
         self.engine.require_process().hold(cost)

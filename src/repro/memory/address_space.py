@@ -72,6 +72,23 @@ class Region:
         last = (self.gaddr + offset + nbytes - 1) // self.page_size
         return range(first, last + 1)
 
+    def span_for(self, offset: int, nbytes: int) -> Optional[Tuple[int, int]]:
+        """Inclusive global page span ``(first, last)`` touched by ``nbytes``
+        at region ``offset``, or ``None`` for a zero-length access.
+
+        A span is the coalesced form of :meth:`pages_for`: two integers no
+        matter how many pages a contiguous access covers, so bulk accesses
+        carry page *extents* through the DSM layers instead of per-page
+        lists. Expansion back to individual pages happens only where
+        protection states force it.
+        """
+        if nbytes == 0:
+            return None
+        self._check_range(offset, nbytes)
+        first = (self.gaddr + offset) // self.page_size
+        last = (self.gaddr + offset + nbytes - 1) // self.page_size
+        return first, last
+
     def page_offset(self, page: int) -> int:
         """Byte offset within the region of global page ``page``'s start
         (clamped to 0 for the first page of an unaligned view)."""

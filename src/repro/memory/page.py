@@ -9,7 +9,7 @@ fault and triggers the same protocol transitions.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ProtectionError
 
@@ -69,6 +69,30 @@ class PageTable:
         for p in pages:
             if not self.state(p).allows(write):
                 out.append(p)
+        if write:
+            self.write_faults += len(out)
+        else:
+            self.read_faults += len(out)
+        return out
+
+    def faulting_in_spans(self, spans: Sequence[Tuple[int, int]],
+                          write: bool) -> List[int]:
+        """Span form of :meth:`faulting_pages`: identical fault list and
+        counter updates for the pages covered by inclusive ``(first, last)``
+        spans, without materializing the page list first.
+
+        The inner loop compares raw table values against the required
+        protection level (READ_ONLY for reads, READ_WRITE for writes), so a
+        span whose pages are all sufficiently mapped is skipped with one
+        dict probe per page and no enum dispatch.
+        """
+        states = self._states
+        need = int(PageState.READ_WRITE) if write else int(PageState.READ_ONLY)
+        out: List[int] = []
+        for first, last in spans:
+            for p in range(first, last + 1):
+                if states.get(p, 0) < need:
+                    out.append(p)
         if write:
             self.write_faults += len(out)
         else:

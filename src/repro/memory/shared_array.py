@@ -188,14 +188,27 @@ class SharedArray:
             raise TypeError("len() of 0-d shared array")
         return self.shape[0]
 
+    def spans_for_index(self, index: Any) -> List[Tuple[int, int]]:
+        """Sorted, disjoint inclusive global page spans an access to
+        ``index`` would touch — the coalesced form of
+        :meth:`pages_for_index` (two integers per contiguous extent)."""
+        spans: List[Tuple[int, int]] = []
+        for off, ln in self._runs(index):
+            span = self.region.span_for(off, ln)
+            if span is None:
+                continue
+            first, last = span
+            if spans and first <= spans[-1][1] + 1:
+                if last > spans[-1][1]:
+                    spans[-1] = (spans[-1][0], last)
+            else:
+                spans.append((first, last))
+        return spans
+
     def pages_for_index(self, index: Any) -> List[int]:
         """Global page numbers an access to ``index`` would touch (used by
         tests and by locality-aware home placement)."""
         pages: List[int] = []
-        seen = set()
-        for off, ln in self._runs(index):
-            for p in self.region.pages_for(off, ln):
-                if p not in seen:
-                    seen.add(p)
-                    pages.append(p)
+        for first, last in self.spans_for_index(index):
+            pages.extend(range(first, last + 1))
         return pages

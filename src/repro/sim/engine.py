@@ -1,25 +1,43 @@
 """Virtual-time event engine.
 
-The engine owns a priority queue of ``(time, seq, action)`` events and a
+The engine owns an event queue of ``(time, seq, action)`` entries and a
 virtual clock. Time is a float in **seconds** of simulated wall-clock time.
 Ties are broken by a monotonically increasing sequence number, which makes
 every run deterministic regardless of Python hash seeds or OS scheduling.
 
 Simulated processes (see :mod:`repro.sim.process`) are driven by the engine:
-when a process blocks (``hold``, lock wait, message wait) it parks its
-backing thread and returns control here; the engine then pops the next event.
-Only one process thread ever runs at a time, so no user-visible locking is
-needed anywhere in the framework.
+when a process blocks (``hold``, lock wait, message wait) it gives control
+back to the dispatcher; exactly one of {the ``run()`` caller, some process
+thread} executes at any instant, so no user-visible locking is needed
+anywhere in the framework.
+
+Two host-speed mechanisms live here (virtual-time results are bit-identical
+either way — the golden-run harness in :mod:`repro.bench.diffcheck` enforces
+that):
+
+* The event queue is a :class:`~repro.sim.eventq.CalendarQueue` by default;
+  the original heapq implementation remains available as the differential
+  reference model (``Engine(queue="heap")`` or ``REPRO_ENGINE_QUEUE=heap``).
+* Dispatch migrates between threads by **direct hand-off**: the dispatch
+  loop (:meth:`Engine._advance`) runs on whichever thread is giving up
+  control. Waking a process costs one raw-lock release (the waker) plus one
+  acquire (the sleeper); event callbacks execute inline on the current
+  thread; and a process whose next event is its own resume continues with
+  no lock traffic at all. The previous design parked/woke threads through
+  two ``threading.Event`` round trips per hand-off, which dominated host
+  time in profiles.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 import time as _time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.errors import DeadlockError, SimulationError
 from repro.obs.spans import NULL_OBS
+from repro.sim.eventq import make_queue
+from repro.sim.process import SimProcess
 from repro.sim.trace import Tracer
 
 
@@ -31,16 +49,32 @@ class Engine:
     trace:
         Optional :class:`~repro.sim.trace.Tracer` capturing structured events
         for debugging and for the monitoring tests.
+    queue:
+        Event-queue implementation: ``"calendar"`` (default) or ``"heap"``
+        (the differential reference). The ``REPRO_ENGINE_QUEUE`` environment
+        variable overrides the default for unparameterized construction.
     """
 
-    def __init__(self, trace: Optional[Tracer] = None) -> None:
+    def __init__(self, trace: Optional[Tracer] = None,
+                 queue: Optional[str] = None) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        if queue is None:
+            queue = os.environ.get("REPRO_ENGINE_QUEUE", "calendar")
+        self.queue_kind = queue
+        self._queue = make_queue(queue)
         self._processes: list = []  # all SimProcess instances ever started
         self._current = None  # the SimProcess whose thread is running, if any
         self._running = False
         self._finished = False
+        self._until: Optional[float] = None
+        # The run() caller's wake-up baton: released by whichever thread
+        # detects a stop condition (queue drained, bound exceeded, pending
+        # exception) while run() blocks.
+        import _thread
+
+        self._main_baton = _thread.allocate_lock()
+        self._main_baton.acquire()
         # Note: Tracer has __len__, so an empty tracer is falsy — test
         # identity, not truthiness.
         self.trace = trace if trace is not None else Tracer(enabled=False)
@@ -81,7 +115,7 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, action))
+        self._queue.push(self._now + delay, self._seq, action)
 
     def schedule_at(self, when: float, action: Callable[[], None]) -> None:
         """Schedule ``action()`` at absolute virtual time ``when``."""
@@ -108,6 +142,65 @@ class Engine:
             raise SimulationError("operation requires a simulated process context")
         return self._current
 
+    # -------------------------------------------------------------- dispatch
+    def _advance(self, origin):
+        """Dispatch events on the calling thread until control moves away.
+
+        ``origin`` is the :class:`SimProcess` giving up control, or ``None``
+        when called from :meth:`run`. Returns
+
+        * ``"self"`` — origin's own resume was dispatched; it continues
+          immediately (no lock traffic),
+        * ``"handed"`` — control was transferred to another thread (a woken
+          process, or the run() caller on a stop condition); the caller must
+          park on its baton (process) or re-check stop state (run),
+        * a stop reason (``"drained"`` / ``"until"`` / ``"exc"``) — only
+          when ``origin`` is ``None``; run() acts on it directly.
+        """
+        queue = self._queue
+        pop = queue.pop
+        until = self._until
+        while True:
+            if self._pending_exc is not None:
+                return self._stop(origin, "exc")
+            try:
+                when, seq, action = pop()
+            except IndexError:
+                return self._stop(origin, "drained")
+            if until is not None and when > until:
+                # Push back (same seq — ordering is unaffected by the round
+                # trip) and stop: the caller asked for a bounded run.
+                queue.push(when, seq, action)
+                queue.rewind(until)
+                self._now = until
+                return self._stop(origin, "until")
+            self._now = when
+            self.events_executed += 1
+            if isinstance(action, SimProcess):
+                if not action.alive:
+                    continue  # stale resume for a finished process
+                if action is origin:
+                    self._current = origin
+                    return "self"
+                self._current = action
+                action._baton.release()
+                return "handed"
+            # Plain event callback: runs in engine context, inline on this
+            # thread.
+            self._current = None
+            try:
+                action()
+            except BaseException as exc:  # noqa: BLE001 - re-raised from run()
+                self._pending_exc = exc
+
+    def _stop(self, origin, reason: str):
+        """A stop condition was hit while dispatching: report it to run()."""
+        self._current = None
+        if origin is None:
+            return reason
+        self._main_baton.release()
+        return "handed"
+
     # ------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue drains (or virtual ``until`` passes).
@@ -119,35 +212,35 @@ class Engine:
         if self._running:
             raise SimulationError("engine is already running (no nested run())")
         self._running = True
+        self._until = until
         host_t0 = _time.perf_counter()
         try:
-            while self._queue:
-                when, _seq, action = heapq.heappop(self._queue)
-                if until is not None and when > until:
-                    # Push back and stop: caller asked for a bounded run.
-                    heapq.heappush(self._queue, (when, _seq, action))
-                    self._now = until
-                    return self._now
-                self._now = when
-                self.events_executed += 1
-                action()
-                if self._pending_exc is not None:
+            while True:
+                outcome = self._advance(None)
+                if outcome == "handed":
+                    # A process thread runs the simulation now; it (or a
+                    # successor) releases the baton on the next stop
+                    # condition, after which stop state is re-derived here.
+                    self._main_baton.acquire()
+                    continue
+                if outcome == "exc":
                     exc, self._pending_exc = self._pending_exc, None
                     raise exc
-            blocked = [p for p in self._processes if p.alive and not p.daemon]
-            if blocked:
-                raise DeadlockError(blocked)
-            self._finished = True
-            return self._now
+                if outcome == "until":
+                    return self._now  # _advance already set _now = until
+                blocked = [p for p in self._processes if p.alive and not p.daemon]
+                if blocked:
+                    raise DeadlockError(blocked)
+                self._finished = True
+                return self._now
         finally:
             self._running = False
+            self._until = None
             self.host_seconds += _time.perf_counter() - host_t0
 
     def run_process(self, fn, *args, name: str = "proc", **kwargs):
         """Convenience: wrap ``fn`` in a process, run to completion, return
         its result. Used heavily by tests."""
-        from repro.sim.process import SimProcess
-
         proc = SimProcess(self, fn, args=args, kwargs=kwargs, name=name)
         proc.start()
         self.run()

@@ -1,12 +1,21 @@
 """Thread-backed simulated processes.
 
 Each :class:`SimProcess` owns a real Python thread, but the engine enforces
-strict hand-off: exactly one of {engine, some process thread} runs at any
-instant, synchronized by per-object :class:`threading.Event` pairs. This
-gives the framework the ergonomics of blocking code — middleware can call
-``hold()`` or wait on a lock arbitrarily deep in its call stack, with no
-generator/yield plumbing — while staying fully deterministic: the order of
-execution is decided solely by the virtual-time event queue.
+strict hand-off: exactly one of {the run() caller, some process thread} runs
+at any instant. This gives the framework the ergonomics of blocking code —
+middleware can call ``hold()`` or wait on a lock arbitrarily deep in its
+call stack, with no generator/yield plumbing — while staying fully
+deterministic: the order of execution is decided solely by the virtual-time
+event queue.
+
+Hand-off uses one raw lock (a *baton*) per process, held whenever the
+process is not running. Giving up control means running the engine's
+dispatch loop inline (:meth:`repro.sim.engine.Engine._advance`) and, only
+if control actually moved to another thread, blocking on the baton until a
+dispatcher hands it back. A process resumed by its own next event (a plain
+``hold``, or an RPC whose reply callback ran inline) never touches a lock.
+Process resumes are scheduled as the process object itself — the dispatcher
+recognizes it and transfers control instead of calling it.
 
 The design mirrors the paper's setting, where each cluster node runs one
 application process; here a "node process" is a ``SimProcess`` whose virtual
@@ -15,6 +24,7 @@ time advances as it computes, touches memory, and exchanges messages.
 
 from __future__ import annotations
 
+import _thread
 import threading
 from typing import Any, Callable, Optional
 
@@ -52,8 +62,12 @@ class SimProcess:
         #: do not keep the simulation alive.
         self.daemon = daemon
         self._thread: Optional[threading.Thread] = None
-        self._go = threading.Event()        # set -> process thread may run
-        self._yielded = threading.Event()   # set -> process has parked again
+        # The hand-off baton: held (locked) whenever this process is not
+        # running; a dispatcher releases it to transfer control here.
+        # Created locked so the thread parks until its first dispatch.
+        baton = _thread.allocate_lock()
+        baton.acquire()
+        self._baton = baton
         self.alive = False
         self.started = False
         self.result: Any = None
@@ -77,13 +91,13 @@ class SimProcess:
         self.alive = True
         self._thread = threading.Thread(target=self._bootstrap, name=str(self), daemon=True)
         self._thread.start()
-        self.engine.schedule(delay, self._resume)
+        self.engine.schedule(delay, self)
         return self
 
     def _bootstrap(self) -> None:
-        # Park until the engine first resumes us.
-        self._go.wait()
-        self._go.clear()
+        # Park until the engine first dispatches us (the dispatcher sets
+        # engine._current before releasing the baton).
+        self._baton.acquire()
         try:
             self.result = self._fn(self, *self._args, **self._kwargs)
         except BaseException as exc:  # noqa: BLE001 - propagated to engine.run()
@@ -94,27 +108,18 @@ class SimProcess:
             self.engine.trace.emit("proc.exit", proc=str(self))
             # Wake joiners at the instant of death.
             for waiter in self._waiters:
-                self.engine.schedule(0.0, waiter._resume)
+                self.engine.schedule(0.0, waiter)
             self._waiters.clear()
-            self.engine._set_current(None)
-            self._yielded.set()  # hand control back to the engine
+            # Terminal hand-off: keep dispatching on this thread until
+            # control moves elsewhere (our own resume can no longer be
+            # dispatched — alive is False), then let the thread exit.
+            self.engine._advance(self)
 
     # -------------------------------------------------------------- handoff
-    def _resume(self) -> None:
-        """Engine-side: run this process's thread until it parks again."""
-        if not self.alive:
-            return
-        self.engine._set_current(self)
-        self._yielded.clear()
-        self._go.set()
-        self._yielded.wait()
-
     def _park(self) -> None:
-        """Process-side: return control to the engine and wait to be resumed."""
-        self.engine._set_current(None)
-        self._yielded.set()
-        self._go.wait()
-        self._go.clear()
+        """Give up control; return when a dispatcher hands it back."""
+        if self.engine._advance(self) == "handed":
+            self._baton.acquire()
 
     # ------------------------------------------------------------- blocking
     def hold(self, duration: float) -> None:
@@ -127,8 +132,10 @@ class SimProcess:
         """
         if duration <= 0:
             return
-        self.engine.schedule(duration, self._resume)
-        self._park()
+        engine = self.engine
+        engine.schedule(duration, self)
+        if engine._advance(self) == "handed":
+            self._baton.acquire()
 
     def suspend(self) -> None:
         """Block indefinitely until another process/event calls :meth:`wake`."""
@@ -136,7 +143,7 @@ class SimProcess:
 
     def wake(self, delay: float = 0.0) -> None:
         """Schedule a suspended process to resume ``delay`` seconds from now."""
-        self.engine.schedule(delay, self._resume)
+        self.engine.schedule(delay, self)
 
     def join(self, other: "SimProcess") -> Any:
         """Block until ``other`` terminates; returns its result.

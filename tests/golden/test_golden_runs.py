@@ -1,0 +1,56 @@
+"""Golden-run snapshot tests — the differential hard gate, in-tree.
+
+Every Fig 2–4 scenario and every chaos scenario (the PR-1 fault plans)
+must reproduce its recorded pre-overhaul capture bit for bit: virtual
+times, event counts, trace digests, result checksums. A failure here
+means a scheduler or cost-path change altered *simulated* behaviour —
+host-side optimizations are expected to leave every field untouched.
+See docs/performance.md for how to investigate a failure and when
+re-recording (``python -m repro.bench.diffcheck --record``) is
+legitimate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import diffcheck
+
+_SCENARIOS = {sc.id: sc for sc in diffcheck.scenarios()}
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return diffcheck.load_goldens()
+
+
+def test_every_scenario_has_a_golden(goldens):
+    missing = sorted(set(_SCENARIOS) - set(goldens["scenarios"]))
+    assert missing == [], f"run --record for: {missing}"
+
+
+@pytest.mark.parametrize("scenario_id", sorted(_SCENARIOS))
+def test_scenario_bit_identical(scenario_id, goldens):
+    problems = diffcheck.check_scenario(_SCENARIOS[scenario_id], goldens)
+    assert problems == []
+
+
+@pytest.mark.parametrize("scenario_id",
+                         [sid for sid in sorted(_SCENARIOS)
+                          if sid.startswith("chaos/")])
+def test_chaos_dual_run_heap_vs_calendar(scenario_id):
+    """The calendar queue must replay PR-1 fault plans exactly as the heapq
+    reference does — drops, duplicates, delays, crashes and all."""
+    sc = _SCENARIOS[scenario_id]
+    ref = diffcheck.capture(sc, queue="heap")
+    new = diffcheck.capture(sc, queue="calendar")
+    assert diffcheck.diff_records(new, ref) == []
+
+
+def test_figure_dual_run_spot():
+    """One figure scenario through both queues (the full sweep runs in CI's
+    diffcheck job; this keeps a scheduler-divergence canary in tier-1)."""
+    sc = _SCENARIOS["fig/sw-dsm-2/PI"]
+    ref = diffcheck.capture(sc, queue="heap")
+    new = diffcheck.capture(sc, queue="calendar")
+    assert diffcheck.diff_records(new, ref) == []

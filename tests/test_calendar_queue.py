@@ -1,0 +1,143 @@
+"""Property tests (hypothesis): the calendar queue is order-equivalent to
+the heapq reference for every push/pop interleaving the engine can produce.
+
+The engine's contract with its queue: pushes carry a strictly increasing
+``seq``, and a push never carries a timestamp earlier than the most
+recently popped one (virtual time is monotone) — except across a
+bounded-run pushback, where the engine re-pushes the overshooting event
+with its *original* seq and calls ``rewind(until)``. The streams drawn
+here exercise exactly that contract: same-timestamp FIFO ties,
+re-insertion after pops, far-future jumps (the direct-search fallback),
+and grow/shrink resizes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.eventq import CalendarQueue, HeapEventQueue, make_queue
+
+# Offsets mix exact ties (0.0), sub-width jitter, bucket-width-scale gaps,
+# and far-future jumps that overrun a whole "year" of buckets.
+_offsets = st.one_of(
+    st.sampled_from([0.0, 0.0, 1e-9, 4.2e-6, 1e-3, 1.0, 3600.0, 1e9]),
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False))
+
+# A stream is a list of batches: push a few events (offset from current
+# virtual time), then pop a few.
+_batches = st.lists(
+    st.tuples(st.lists(_offsets, max_size=8),
+              st.integers(min_value=0, max_value=10)),
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(batches=_batches)
+def test_calendar_pops_identically_to_heap(batches):
+    cq, hq = CalendarQueue(), HeapEventQueue()
+    seq = 0
+    now = 0.0
+    for pushes, npops in batches:
+        for off in pushes:
+            seq += 1
+            when = now + off
+            cq.push(when, seq, seq)
+            hq.push(when, seq, seq)
+        for _ in range(min(npops, len(hq))):
+            got, ref = cq.pop(), hq.pop()
+            assert got == ref
+            now = got[0]
+        assert len(cq) == len(hq)
+        assert bool(cq) == bool(hq)
+    while hq:
+        got, ref = cq.pop(), hq.pop()
+        assert got == ref
+        now = got[0]
+    assert len(cq) == 0 and not cq
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(n=st.integers(min_value=1, max_value=64),
+       when=st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                      allow_infinity=False))
+def test_same_timestamp_ties_pop_fifo(n, when):
+    """All-equal timestamps must drain in exact insertion (seq) order."""
+    cq = CalendarQueue()
+    for seq in range(1, n + 1):
+        cq.push(when, seq, seq)
+    assert [cq.pop()[1] for _ in range(n)] == list(range(1, n + 1))
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(batches=_batches,
+       until=st.floats(min_value=0.0, max_value=20.0, allow_nan=False,
+                       allow_infinity=False))
+def test_rewind_after_bounded_run_pushback(batches, until):
+    """Emulate Engine.run(until): pop to the bound, push the overshooting
+    event back under its original seq, rewind, then keep scheduling from
+    ``until`` — order must still match the heap reference exactly."""
+    cq, hq = CalendarQueue(), HeapEventQueue()
+    seq = 0
+    for pushes, _ in batches:
+        for off in pushes:
+            seq += 1
+            cq.push(off, seq, seq)
+            hq.push(off, seq, seq)
+    now = 0.0
+    while hq:
+        w, s, a = hq.pop()
+        got = cq.pop()
+        assert got == (w, s, a)
+        if w > until:
+            hq.push(w, s, a)
+            cq.push(w, s, a)
+            cq.rewind(until)
+            hq.rewind(until)
+            now = until
+            break
+        now = w
+    # Resume with new events scheduled from the bound, as a fresh run would.
+    for i, off in enumerate([0.0, 1e-6, 0.5]):
+        seq += 1
+        cq.push(now + off, seq, seq)
+        hq.push(now + off, seq, seq)
+    while hq:
+        assert cq.pop() == hq.pop()
+    assert len(cq) == 0
+
+
+def test_pop_empty_raises():
+    cq = CalendarQueue()
+    try:
+        cq.pop()
+    except IndexError:
+        pass
+    else:  # pragma: no cover - failure path
+        raise AssertionError("pop from empty CalendarQueue must IndexError")
+
+
+def test_make_queue_factory():
+    assert isinstance(make_queue("calendar"), CalendarQueue)
+    assert isinstance(make_queue("heap"), HeapEventQueue)
+    try:
+        make_queue("splay")
+    except ValueError:
+        pass
+    else:  # pragma: no cover - failure path
+        raise AssertionError("unknown queue kind must raise ValueError")
+
+
+def test_slab_reuses_records():
+    """Popped records are recycled: after a pop, a push must not allocate a
+    fresh list (the freelist hands the old record back)."""
+    cq = CalendarQueue()
+    cq.push(1.0, 1, "a")
+    cq.pop()
+    assert len(cq._free) == 1
+    rec = cq._free[-1]
+    assert rec[2] is None  # action reference dropped while slabbed
+    cq.push(2.0, 2, "b")
+    assert not cq._free
+    assert cq.pop() == (2.0, 2, "b")
