@@ -61,10 +61,41 @@ def md_table(headers: List[str], rows: List[List]) -> str:
     return "\n".join(out)
 
 
-def collect_times(scale: float) -> Dict[str, Dict[str, float]]:
-    """Run every figure platform once: preset -> label -> virtual seconds."""
-    return {name: run_suite(preset(name), scale=scale, native=native)
-            for name, native in _FIGURE_PRESETS}
+def collect_times(scale: float, workers: int = 1,
+                  cache_dir: Optional[str] = None
+                  ) -> Dict[str, Dict[str, float]]:
+    """Run every figure platform once: preset -> label -> virtual seconds.
+
+    With ``workers > 1`` or a ``cache_dir``, the grid runs through the
+    experiment fabric (:mod:`repro.fabric`): the preset × workload cells
+    execute in parallel worker processes and land in the content-addressed
+    result cache, so regenerating unchanged figures costs zero simulation
+    time. The virtual-time numbers are identical to the serial path — the
+    simulator is deterministic and both paths run the same cells.
+    """
+    if workers <= 1 and cache_dir is None:
+        return {name: run_suite(preset(name), scale=scale, native=native)
+                for name, native in _FIGURE_PRESETS}
+    from repro.fabric import DEFAULT_CACHE_DIR, GridSpec, run_sweep
+    from repro.bench.telemetry import _PRIMARY_LABELS
+
+    spec = GridSpec(presets=tuple(name for name, _ in _FIGURE_PRESETS),
+                    native=tuple(nat for _, nat in _FIGURE_PRESETS),
+                    labels=_PRIMARY_LABELS, scales=(scale,),
+                    suite="experiments")
+    result = run_sweep(spec, workers=workers,
+                       cache_dir=cache_dir or DEFAULT_CACHE_DIR)
+    bad = result.manifest.failed_cells()
+    if bad:
+        raise RuntimeError(
+            "experiment fabric could not complete the figure grid: "
+            + "; ".join(f"{c.id} ({c.error})" for c in bad))
+    times: Dict[str, Dict[str, float]] = {name: {} for name, _ in _FIGURE_PRESETS}
+    for record in result.records:
+        # label_seconds carries the derived LU splits of each execution,
+        # so this reconstructs exactly what run_suite returns.
+        times[record["preset"]].update(record["label_seconds"])
+    return times
 
 
 def gen_table1() -> str:
@@ -149,11 +180,19 @@ def main(argv: List[str]) -> int:
                         help="working-set scale (1.0 = paper sizes)")
     parser.add_argument("--json-out", metavar="FILE",
                         help="also write the raw+derived numbers as JSON")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run the figure grid through the experiment "
+                             "fabric with N worker processes")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed result cache directory "
+                             "(implies the fabric path; unchanged cells "
+                             "cost zero simulation time)")
     args = parser.parse_args(argv[1:])
     scale = args.scale
 
     t0 = time.time()
-    times = collect_times(scale)
+    times = collect_times(scale, workers=args.workers,
+                          cache_dir=args.cache_dir)
     collect_elapsed = time.time() - t0
 
     print(gen_table1())

@@ -119,16 +119,45 @@ def config_fingerprint(config: ClusterConfig, app: str,
 
 
 # ------------------------------------------------------------------- units
+def _unit_config(preset_name: str, overrides: Optional[Dict[str, Any]] = None,
+                 faults: Optional[Any] = None,
+                 nodes: Optional[int] = None) -> ClusterConfig:
+    """A fresh config for one unit, with the sweep axes applied.
+
+    The same construction is used for running and for identity (the
+    fingerprint below and the fabric's content address), so overrides,
+    fault plans, and node counts can never silently fall out of a
+    record's identity.
+    """
+    config = preset(preset_name)
+    if nodes is not None:
+        if nodes < 1:
+            raise ConfigurationError(f"need at least one node, got {nodes}")
+        config.nodes = nodes
+    if overrides:
+        config.param_overrides.update(overrides)
+    if faults is not None:
+        config.faults = faults
+    return config
+
+
 def run_unit(preset_name: str, label: str, scale: float,
              native: bool = False, repeat: int = 1,
              suite: str = "adhoc",
-             profiler: Optional[Any] = None) -> Dict[str, Any]:
+             profiler: Optional[Any] = None,
+             overrides: Optional[Dict[str, Any]] = None,
+             faults: Optional[Any] = None,
+             nodes: Optional[int] = None) -> Dict[str, Any]:
     """Execute one benchmark unit ``repeat`` times and build its record.
 
     Virtual time must be identical across repeats (the simulator is
     deterministic); a mismatch raises — that *is* the determinism check.
     Host wall time is taken as the min over repeats (the standard
     noise-floor estimator), with every repeat recorded for MAD analysis.
+
+    ``overrides`` / ``faults`` / ``nodes`` are the sweep axes of
+    :mod:`repro.fabric`: machine-parameter overrides merged into the
+    preset, a fault plan, and a node-count override.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
@@ -139,7 +168,7 @@ def run_unit(preset_name: str, label: str, scale: float,
     events = 0
     virtual: Optional[float] = None
     for _ in range(repeat):
-        config = preset(preset_name)
+        config = _unit_config(preset_name, overrides, faults, nodes)
         config.observe = True  # critical-path breakdown; free in virtual time
 
         def one_run(cfg: ClusterConfig = config):
@@ -189,21 +218,27 @@ def run_unit(preset_name: str, label: str, scale: float,
         "repeats": repeat,
         "events_per_sec": (events / host_seconds if host_seconds > 0 else 0.0),
         "critical_path": breakdown,
-        "fingerprint": config_fingerprint(preset(preset_name), wl.app,
-                                          params, scale, native),
+        "fingerprint": config_fingerprint(
+            _unit_config(preset_name, overrides, faults, nodes), wl.app,
+            params, scale, native),
     }
 
 
 def run_suite_telemetry(suite: str = "smoke", scale: Optional[float] = None,
                         repeat: int = 1, only: Optional[str] = None,
                         profiler: Optional[Any] = None,
-                        progress: Optional[Callable[[str], None]] = None
-                        ) -> Dict[str, Any]:
+                        progress: Optional[Callable[[str], None]] = None,
+                        cache: Optional[Any] = None) -> Dict[str, Any]:
     """Run a named suite and return its telemetry document.
 
     ``only`` filters unit ids by substring (CI smoke tests run single
     units); ``profiler`` is an optional
     :class:`~repro.bench.hostprof.HostProfiler` wrapped around every run.
+
+    ``cache`` is a duck-typed result cache (the fabric's
+    :class:`repro.fabric.cache.TelemetryCache`): when given, every unit
+    is looked up by its content address before running — serial runs and
+    parallel sweeps share hits — and fresh records are stored back.
     """
     try:
         spec = SUITES[suite]
@@ -217,11 +252,22 @@ def run_suite_telemetry(suite: str = "smoke", scale: Optional[float] = None,
             unit_id = f"{preset_name}/{label}"
             if only is not None and only not in unit_id:
                 continue
+            if cache is not None:
+                record = cache.lookup(preset_name, label, use_scale, native,
+                                      suite)
+                if record is not None:
+                    if progress is not None:
+                        progress(f"{unit_id} [cache hit]")
+                    records.append(record)
+                    continue
             if progress is not None:
                 progress(unit_id)
-            records.append(run_unit(preset_name, label, use_scale,
-                                    native=native, repeat=repeat,
-                                    suite=suite, profiler=profiler))
+            record = run_unit(preset_name, label, use_scale,
+                              native=native, repeat=repeat,
+                              suite=suite, profiler=profiler)
+            if cache is not None:
+                cache.store_record(record)
+            records.append(record)
     return {
         "schema": SCHEMA,
         "suite": suite,

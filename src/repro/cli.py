@@ -29,11 +29,21 @@ Commands:
       python -m repro bench update-baseline --json BENCH_smoke.json
       python -m repro bench report --json BENCH_smoke.json --out report.md
 
+* ``sweep`` — the parallel experiment fabric (:mod:`repro.fabric`): run a
+  declarative grid over N worker processes with a content-addressed result
+  cache, inspect a grid against the cache, or render a stored manifest::
+
+      python -m repro sweep run --grid grid.json --workers 4 \\
+          --json-out SWEEP.json --manifest sweep-manifest.json
+      python -m repro sweep show --grid grid.json
+      python -m repro sweep status --manifest sweep-manifest.json
+
 * ``platforms`` — list the named platform presets.
 * ``apps`` — list the benchmark applications and their paper working sets.
 * ``experiments`` — regenerate all tables/figures (delegates to
   :mod:`repro.bench.experiments`); ``--json-out`` records the numbers as
-  a machine-readable artifact.
+  a machine-readable artifact, ``--workers N`` parallelizes the figure
+  grid through the fabric.
 
 A ``--config FILE`` may replace ``--preset`` to build the platform from an
 INI-style cluster configuration (§3.3), reproducing the paper's
@@ -220,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     brun.add_argument("--baseline", metavar="FILE",
                       help="compare against this baseline right after "
                            "running (exit non-zero on hard regression)")
+    brun.add_argument("--cache", metavar="DIR", dest="cache_dir",
+                      help="consult (and fill) the fabric's content-"
+                           "addressed result cache in DIR; cells already "
+                           "computed — by any run or sweep — are not "
+                           "re-simulated")
 
     bcmp = bsub.add_parser(
         "compare", help="compare recorded telemetry against a baseline")
@@ -263,6 +278,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output path (.html renders HTML; default: "
                            "markdown to stdout)")
 
+    sweep = sub.add_parser(
+        "sweep", help="parallel experiment fabric: cached grid sweeps")
+    ssub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    srun = ssub.add_parser("run", help="run a grid over worker processes")
+    srun.add_argument("--grid", required=True, metavar="FILE",
+                      help="grid spec JSON (axes: presets, labels, scales, "
+                           "nodes, overrides, faults)")
+    srun.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="worker processes (1 = inline serial reference "
+                           "path)")
+    srun.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="content-addressed result cache "
+                           "(default: .fabric-cache)")
+    srun.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                      help="per-cell wall-clock timeout (overrides the "
+                           "grid's own; needs workers >= 2 to preempt)")
+    srun.add_argument("--json-out", metavar="FILE",
+                      help="write the sweep's telemetry document "
+                           "(bench compare/report consume it unchanged)")
+    srun.add_argument("--manifest", metavar="FILE",
+                      help="write the per-cell manifest JSON")
+    srun.add_argument("--expect-cached", action="store_true",
+                      help="exit 3 unless the sweep was 100%% cache hits "
+                           "with zero simulated events (CI's rerun gate)")
+
+    sshow = ssub.add_parser(
+        "show", help="expand a grid and probe the cache without running")
+    sshow.add_argument("--grid", required=True, metavar="FILE",
+                       help="grid spec JSON")
+    sshow.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache to probe (default: .fabric-cache)")
+
+    sstat = ssub.add_parser("status", help="render a stored sweep manifest")
+    sstat.add_argument("--manifest", required=True, metavar="FILE",
+                       help="manifest JSON written by 'sweep run'")
+
     sub.add_parser("platforms", help="list platform presets")
     sub.add_parser("apps", help="list benchmarks and working sets")
 
@@ -271,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="working-set scale (1.0 = paper sizes)")
     exp.add_argument("--json-out", metavar="FILE",
                      help="also record raw+derived numbers as JSON")
+    exp.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="parallelize the figure grid through the fabric")
+    exp.add_argument("--cache-dir", metavar="DIR",
+                     help="fabric result cache for the figure grid")
     return parser
 
 
@@ -462,9 +518,14 @@ def _cmd_bench(args) -> int:
             from repro.bench.hostprof import HostProfiler
 
             profiler = HostProfiler(top=20)
+        cache = None
+        if args.cache_dir:
+            from repro.fabric import ResultCache, TelemetryCache
+
+            cache = TelemetryCache(ResultCache(args.cache_dir))
         doc = run_suite_telemetry(
             args.suite, scale=args.scale, repeat=args.repeat, only=args.only,
-            profiler=profiler,
+            profiler=profiler, cache=cache,
             progress=lambda unit: print(f"[bench] {unit}"))
         if not doc["records"]:
             print(f"--only {args.only!r} matched no benchmark in suite "
@@ -477,6 +538,10 @@ def _cmd_bench(args) -> int:
             return 2
         print()
         _print_bench_summary(doc)
+        if cache is not None:
+            store = cache.store
+            print(f"cache    : {store.hits} hit(s), {store.misses} miss(es) "
+                  f"in {store.root}")
         if args.json_out:
             write_text(args.json_out, telemetry_to_json(doc))
             print(f"telemetry: written to {args.json_out}")
@@ -541,6 +606,74 @@ def _cmd_bench(args) -> int:
         f"unhandled bench command {args.bench_command!r}")  # pragma: no cover
 
 
+def _cmd_sweep(args) -> int:
+    from repro.fabric import (DEFAULT_CACHE_DIR, GridSpec, ResultCache,
+                              SweepManifest, run_sweep, scenario_key)
+
+    if args.sweep_command == "status":
+        manifest = SweepManifest.load(args.manifest)
+        print(manifest.render())
+        return 0 if not manifest.failed_cells() else 1
+
+    spec = GridSpec.load(args.grid)
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+
+    if args.sweep_command == "show":
+        cache = ResultCache(cache_dir)
+        from repro.bench.report import render_table
+
+        rows = []
+        hits = 0
+        for sc in spec.expand():
+            key = scenario_key(sc)
+            cached = key in cache
+            hits += cached
+            rows.append([sc.cell_id(), key[:12],
+                         "hit" if cached else "miss"])
+        print(render_table(
+            ["cell", "key", "cache"], rows,
+            title=f"grid {args.grid}: {len(rows)} cells — "
+                  f"{hits} cached, {len(rows) - hits} to run "
+                  f"(cache: {cache_dir})"))
+        return 0
+
+    if args.sweep_command == "run":
+        from repro.bench.telemetry import telemetry_to_json, validate_telemetry
+        from repro.tools.export import write_text
+
+        result = run_sweep(
+            spec, workers=args.workers, cache_dir=cache_dir,
+            timeout=args.timeout,
+            progress=lambda cell, outcome: print(f"[sweep] {cell}: {outcome}"))
+        manifest = result.manifest
+        print()
+        print(manifest.render())
+        if result.doc is not None:
+            errors = validate_telemetry(result.doc)
+            if errors:  # a fabric bug, not a perf problem — fail loudly
+                for err in errors:
+                    print(f"schema error: {err}")
+                return 2
+            if args.json_out:
+                write_text(args.json_out, telemetry_to_json(result.doc))
+                print(f"telemetry: written to {args.json_out}")
+        elif args.json_out:
+            print("telemetry: no successful cells, nothing written")
+        if args.manifest:
+            manifest.save(args.manifest)
+            print(f"manifest : written to {args.manifest}")
+        if args.expect_cached and not manifest.all_cached():
+            counts = manifest.counts()
+            print(f"expect-cached: FAILED — {counts['miss']} miss(es), "
+                  f"{counts['failed']} failure(s), "
+                  f"{manifest.simulated_events()} simulated events")
+            return 3
+        return 0 if not manifest.failed_cells() else 1
+
+    raise AssertionError(
+        f"unhandled sweep command {args.sweep_command!r}")  # pragma: no cover
+
+
 def _cmd_platforms() -> int:
     for name in sorted(PRESETS):
         cfg = PRESETS[name]
@@ -567,6 +700,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "platforms":
         return _cmd_platforms()
     if args.command == "apps":
@@ -577,6 +712,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv_exp = ["experiments", str(args.scale)]
         if args.json_out:
             argv_exp += ["--json-out", args.json_out]
+        if args.workers != 1:
+            argv_exp += ["--workers", str(args.workers)]
+        if args.cache_dir:
+            argv_exp += ["--cache-dir", args.cache_dir]
         return experiments_main(argv_exp)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

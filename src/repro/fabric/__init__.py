@@ -1,0 +1,30 @@
+"""repro.fabric — parallel experiment fabric with a content-addressed cache.
+
+The paper's evaluation is a grid (models × interconnects × apps × node
+counts); this package makes sweeping that grid cheap:
+
+* :mod:`repro.fabric.gridspec` — declarative grid specs and cells,
+* :mod:`repro.fabric.cache` — content-addressed result store (payloads
+  are unchanged :mod:`repro.bench.telemetry` records),
+* :mod:`repro.fabric.worker` — the worker-process protocol,
+* :mod:`repro.fabric.scheduler` — the orchestrator (dispatch, timeouts,
+  crash recovery, typed per-cell failures),
+* :mod:`repro.fabric.manifest` — the per-cell receipt of a sweep.
+
+Surfaced as ``python -m repro sweep`` and behind
+``python -m repro experiments --workers N``.
+"""
+
+from repro.fabric.cache import (CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache,
+                                TelemetryCache, canonical_record,
+                                canonical_records_json, scenario_key)
+from repro.fabric.gridspec import GridSpec, Scenario
+from repro.fabric.manifest import MANIFEST_SCHEMA, CellOutcome, SweepManifest
+from repro.fabric.scheduler import SweepResult, run_sweep
+from repro.fabric.worker import CellFailed, Job, execute_cell
+
+__all__ = ["GridSpec", "Scenario", "ResultCache", "TelemetryCache",
+           "scenario_key", "canonical_record", "canonical_records_json",
+           "CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "MANIFEST_SCHEMA",
+           "CellOutcome", "SweepManifest", "SweepResult", "run_sweep",
+           "CellFailed", "Job", "execute_cell"]

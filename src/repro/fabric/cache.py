@@ -1,0 +1,177 @@
+"""Content-addressed result cache.
+
+Every grid cell has one stable content address composed from the three
+identity hashes of :mod:`repro.machine.params` plus the code-schema
+version:
+
+* ``MachineParams.fingerprint`` — the machine's cost constants (override
+  composition included: the fingerprint is taken over the *final* params
+  the cell builds, so an overridden field changes the address),
+* the config's canonical text form — platform, DSM, nodes, messaging,
+* :func:`~repro.machine.params.workload_hash` — app + working set + scale,
+* :func:`~repro.machine.params.fault_plan_hash` — the fault plan,
+* :data:`CACHE_SCHEMA` + the telemetry schema — bump either and every
+  stored result is invisible (never silently reused across code changes).
+
+The store itself (:class:`ResultCache`) is a plain sharded directory of
+JSON files — payloads are the existing :mod:`repro.bench.telemetry`
+result records, so ``bench compare``, the baseline gates, and the report
+generator consume cached sweeps unchanged. Rerunning a sweep only
+executes changed cells; a fully-unchanged grid costs zero simulation
+time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.fabric.gridspec import Scenario
+from repro.machine.params import fault_plan_hash, stable_digest, workload_hash
+
+__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "scenario_key",
+           "ResultCache", "TelemetryCache", "canonical_record",
+           "canonical_records_json"]
+
+#: Cache layout / compatibility version. Bump whenever the simulator's
+#: cost model or the record contents change meaning: old entries become
+#: unreachable instead of wrong.
+CACHE_SCHEMA = "repro.fabric.cache/1"
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".fabric-cache"
+
+#: Record fields that vary with the host, not the simulated behaviour.
+#: Everything else in a record is deterministic given the cell identity.
+_HOST_FIELDS = ("host_seconds", "host_seconds_all", "events_per_sec",
+                "repeats")
+
+
+def scenario_key(scenario: Scenario) -> str:
+    """The content address of one grid cell's result."""
+    from repro.bench.telemetry import SCHEMA as TELEMETRY_SCHEMA
+
+    config = scenario.build_config()
+    app, params = scenario.workload()
+    return stable_digest({
+        "schema": [CACHE_SCHEMA, TELEMETRY_SCHEMA],
+        "machine": config.params().fingerprint,
+        "config": config.to_text(),
+        "workload": workload_hash(app, params, scenario.scale),
+        "faults": fault_plan_hash(config.faults),
+        "native": bool(scenario.native),
+    })
+
+
+def canonical_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A record with host-varying fields removed.
+
+    Two executions of the same cell — serial or parallel, today or next
+    week — produce byte-identical canonical forms; only wall-clock noise
+    is stripped. The parity tests and the sweep determinism contract are
+    stated over this form.
+    """
+    return {k: v for k, v in record.items() if k not in _HOST_FIELDS}
+
+
+def canonical_records_json(records: List[Dict[str, Any]]) -> str:
+    """Canonical JSON of a record list (the byte-parity comparand)."""
+    return json.dumps([canonical_record(r) for r in records],
+                      sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Sharded directory of ``<key[:2]>/<key>.json`` result entries."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``key``, or None (counts hit/miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
+            self.misses += 1          # stale layout or corrupted entry
+            return None
+        self.hits += 1
+        return entry["record"]
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store a record atomically (write-temp + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key, "record": record}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+class TelemetryCache:
+    """Adapter giving serial ``bench run`` the same cache sweeps use.
+
+    :func:`repro.bench.telemetry.run_suite_telemetry` takes this
+    duck-typed object (telemetry never imports the fabric); the key is
+    derived through :func:`scenario_key`, so a cell executed by a sweep
+    is a hit for the serial path and vice versa. ``repeat`` is *not*
+    part of the address — it only changes host-time statistics — so a
+    hit may report fewer repeats than requested.
+    """
+
+    def __init__(self, store: ResultCache) -> None:
+        self.store = store
+
+    def key_for(self, preset_name: str, label: str, scale: float,
+                native: bool) -> str:
+        return scenario_key(Scenario(preset=preset_name, label=label,
+                                     scale=scale, native=native))
+
+    def lookup(self, preset_name: str, label: str, scale: float,
+               native: bool, suite: str) -> Optional[Dict[str, Any]]:
+        record = self.store.get(self.key_for(preset_name, label, scale, native))
+        if record is None:
+            return None
+        record = dict(record)
+        # Rename to the requesting context: the cached copy may have been
+        # produced under a sweep's cell id and suite name.
+        record["id"] = f"{preset_name}/{label}"
+        record["suite"] = suite
+        return record
+
+    def store_record(self, record: Dict[str, Any]) -> None:
+        self.store.put(self.key_for(record["preset"], record["benchmark"],
+                                    record["scale"], record["native"]),
+                       record)

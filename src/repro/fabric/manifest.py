@@ -1,0 +1,132 @@
+"""Sweep manifests: what happened to every cell of a grid.
+
+A :class:`SweepManifest` is the machine-readable receipt of one sweep:
+per cell, its id, content address, outcome (``hit`` / ``miss`` /
+``failed``), attempt count, and — for executed cells — the host seconds
+and engine events it cost. ``python -m repro sweep status`` renders a
+stored manifest; CI's sweep-smoke job asserts on its counts (a repeated
+unchanged sweep must be 100% hits with zero simulated events).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["MANIFEST_SCHEMA", "CellOutcome", "SweepManifest"]
+
+MANIFEST_SCHEMA = "repro.fabric.manifest/1"
+
+#: The closed set of per-cell outcomes.
+OUTCOMES = ("hit", "miss", "failed")
+
+
+@dataclass
+class CellOutcome:
+    """One grid cell's fate."""
+
+    index: int
+    id: str
+    key: str
+    #: "hit" (served from cache), "miss" (executed), "failed" (typed
+    #: CellFailed: error / crash after retry / timeout)
+    outcome: str
+    attempts: int = 1
+    host_seconds: float = 0.0
+    events: int = 0
+    #: "<kind>: <detail>" for failed cells
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "id": self.id, "key": self.key,
+                "outcome": self.outcome, "attempts": self.attempts,
+                "host_seconds": self.host_seconds, "events": self.events,
+                "error": self.error}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CellOutcome":
+        return cls(index=int(d["index"]), id=d["id"], key=d["key"],
+                   outcome=d["outcome"], attempts=int(d.get("attempts", 1)),
+                   host_seconds=float(d.get("host_seconds", 0.0)),
+                   events=int(d.get("events", 0)), error=d.get("error"))
+
+
+@dataclass
+class SweepManifest:
+    """The full receipt of one sweep run."""
+
+    suite: str
+    workers: int
+    cells: List[CellOutcome] = field(default_factory=list)
+    #: total wall seconds of the sweep (queue wait + execution)
+    elapsed: float = 0.0
+
+    # ------------------------------------------------------------- queries
+    def counts(self) -> Dict[str, int]:
+        out = {outcome: 0 for outcome in OUTCOMES}
+        for cell in self.cells:
+            out[cell.outcome] = out.get(cell.outcome, 0) + 1
+        return out
+
+    def simulated_events(self) -> int:
+        """Engine events actually executed (hits contribute zero)."""
+        return sum(c.events for c in self.cells if c.outcome == "miss")
+
+    def failed_cells(self) -> List[CellOutcome]:
+        return [c for c in self.cells if c.outcome == "failed"]
+
+    def all_cached(self) -> bool:
+        counts = self.counts()
+        return (counts["miss"] == 0 and counts["failed"] == 0
+                and self.simulated_events() == 0)
+
+    # ------------------------------------------------------------------ io
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": MANIFEST_SCHEMA, "suite": self.suite,
+                "workers": self.workers, "elapsed": self.elapsed,
+                "counts": self.counts(),
+                "simulated_events": self.simulated_events(),
+                "cells": [c.to_dict() for c in self.cells]}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SweepManifest":
+        if d.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"manifest schema must be {MANIFEST_SCHEMA!r}, "
+                f"got {d.get('schema')!r}")
+        return cls(suite=d["suite"], workers=int(d["workers"]),
+                   elapsed=float(d.get("elapsed", 0.0)),
+                   cells=[CellOutcome.from_dict(c) for c in d.get("cells", [])])
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        from repro.tools.export import write_text
+
+        write_text(path, self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "SweepManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    # -------------------------------------------------------------- render
+    def render(self) -> str:
+        from repro.bench.report import render_table
+
+        rows = []
+        for cell in self.cells:
+            rows.append([cell.id, cell.key[:12], cell.outcome, cell.attempts,
+                         f"{cell.host_seconds * 1e3:.1f}", cell.events,
+                         cell.error or ""])
+        counts = self.counts()
+        title = (f"sweep {self.suite!r}: {len(self.cells)} cells — "
+                 f"{counts['hit']} hit / {counts['miss']} miss / "
+                 f"{counts['failed']} failed — "
+                 f"{self.simulated_events()} simulated events, "
+                 f"{self.elapsed:.1f}s wall, {self.workers} worker(s)")
+        return render_table(
+            ["cell", "key", "outcome", "tries", "host ms", "events", "error"],
+            rows, title=title)

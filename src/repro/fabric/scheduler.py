@@ -1,0 +1,320 @@
+"""Sweep orchestration: expand, consult the cache, dispatch, recover.
+
+:func:`run_sweep` is the fabric's one entry point:
+
+1. expand the :class:`~repro.fabric.gridspec.GridSpec` into (content
+   address, scenario) cells;
+2. serve every cell already in the :class:`~repro.fabric.cache.ResultCache`
+   (a fully-unchanged grid costs zero simulation time);
+3. dispatch the misses — inline when ``workers <= 1`` (the reference
+   serial path), otherwise to N worker processes over bounded queues;
+4. recover: a job that exceeds the per-cell wall-clock timeout gets its
+   worker killed; a dead worker's job is retried once on a fresh worker;
+   a second failure (or any in-cell exception) becomes a typed
+   ``failed`` outcome in the manifest — the sweep never aborts wholesale;
+5. store fresh records back into the cache and assemble the telemetry
+   document (records in grid order, independent of completion order, so
+   parallel and serial sweeps produce identical documents).
+
+The telemetry document uses the unchanged ``repro.bench.telemetry``
+schema: ``bench compare``, the baseline gates, and the report generator
+consume fabric output directly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import platform as _host_platform
+import queue as _queue
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.fabric.cache import DEFAULT_CACHE_DIR, ResultCache, scenario_key
+from repro.fabric.gridspec import GridSpec
+from repro.fabric.manifest import CellOutcome, SweepManifest
+from repro.fabric.worker import Job, execute_cell, worker_main
+
+__all__ = ["SweepResult", "run_sweep"]
+
+#: A job is re-queued this many times after its worker dies or times out
+#: before its cell is recorded as failed ("retried once").
+_MAX_ATTEMPTS = 2
+
+Progress = Callable[[str, str], None]
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced."""
+
+    spec: GridSpec
+    manifest: SweepManifest
+    #: successful records, in grid order (hits and misses alike)
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: telemetry document (None when every cell failed)
+    doc: Optional[Dict[str, Any]] = None
+
+
+# ------------------------------------------------------------ serial path
+def _run_jobs_serial(jobs: List[Job], suite: str, progress: Optional[Progress]
+                     ) -> Tuple[Dict[int, Dict[str, Any]],
+                                Dict[int, Tuple[str, str]], Dict[int, int]]:
+    """Reference execution: same cell path as the workers, inline.
+
+    Per-cell timeouts are not enforced inline (there is no worker to
+    kill); in-cell exceptions still become typed failures.
+    """
+    done: Dict[int, Dict[str, Any]] = {}
+    failed: Dict[int, Tuple[str, str]] = {}
+    for job in jobs:
+        try:
+            done[job.index] = execute_cell(job.scenario, suite=suite)
+            if progress is not None:
+                progress(job.scenario.cell_id(), "miss")
+        except Exception as exc:  # noqa: BLE001 — typed CellFailed outcome
+            failed[job.index] = ("error", f"{type(exc).__name__}: {exc}")
+            if progress is not None:
+                progress(job.scenario.cell_id(), "failed")
+    return done, failed, {job.index: 1 for job in jobs}
+
+
+# ---------------------------------------------------------- parallel path
+def _kill(proc: multiprocessing.Process) -> None:
+    proc.terminate()
+    proc.join(timeout=1.0)
+    if proc.is_alive():  # pragma: no cover — terminate nearly always lands
+        proc.kill()
+        proc.join(timeout=1.0)
+
+
+def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
+                       timeout: Optional[float],
+                       progress: Optional[Progress],
+                       stall_grace: float = 5.0
+                       ) -> Tuple[Dict[int, Dict[str, Any]],
+                                  Dict[int, Tuple[str, str]], Dict[int, int]]:
+    ctx = multiprocessing.get_context()
+    n_workers = min(workers, len(jobs))
+    job_q = ctx.Queue(maxsize=max(2, 2 * n_workers))  # bounded by design
+    result_q = ctx.Queue()
+    procs: Dict[int, Any] = {}
+
+    def spawn() -> None:
+        proc = ctx.Process(target=worker_main, args=(job_q, result_q, suite),
+                           daemon=True)
+        proc.start()
+        procs[proc.pid] = proc
+
+    for _ in range(n_workers):
+        spawn()
+
+    jobs_by_index: Dict[int, Job] = {job.index: job for job in jobs}
+    pending = deque(jobs)
+    inflight: Dict[int, Tuple[Job, float]] = {}   # worker pid -> (job, t0)
+    done: Dict[int, Dict[str, Any]] = {}
+    failed: Dict[int, Tuple[str, str]] = {}
+    outstanding = set(jobs_by_index)
+
+    def resolve_fail(job: Job, kind: str, detail: str) -> None:
+        """Retry a lost job once, then record the typed failure."""
+        if job.attempt < _MAX_ATTEMPTS:
+            retry = Job(index=job.index, key=job.key,
+                        scenario=job.scenario, attempt=job.attempt + 1)
+            jobs_by_index[job.index] = retry
+            pending.append(retry)
+        else:
+            failed[job.index] = (kind, detail)
+            outstanding.discard(job.index)
+            if progress is not None:
+                progress(job.scenario.cell_id(), "failed")
+
+    try:
+        last_activity = time.monotonic()
+        while outstanding:
+            while pending:
+                try:
+                    job_q.put_nowait(pending[0])
+                except _queue.Full:
+                    break
+                pending.popleft()
+            try:
+                tag, idx, payload, pid = result_q.get(timeout=0.05)
+            except _queue.Empty:
+                tag = None
+            now = time.monotonic()
+            if tag is not None:
+                last_activity = now
+            if tag == "start":
+                inflight[pid] = (jobs_by_index[idx], now)
+            elif tag == "done":
+                done[idx] = payload
+                outstanding.discard(idx)
+                inflight.pop(pid, None)
+                if progress is not None:
+                    progress(jobs_by_index[idx].scenario.cell_id(), "miss")
+            elif tag == "fail":
+                inflight.pop(pid, None)
+                failed[idx] = ("error", payload)
+                outstanding.discard(idx)
+                if progress is not None:
+                    progress(jobs_by_index[idx].scenario.cell_id(), "failed")
+            # Per-job wall-clock timeout: kill the worker, recover the job.
+            if timeout is not None:
+                for wpid in list(inflight):
+                    job, t0 = inflight[wpid]
+                    if now - t0 > timeout:
+                        inflight.pop(wpid)
+                        proc = procs.pop(wpid, None)
+                        if proc is not None:
+                            _kill(proc)
+                        resolve_fail(job, "timeout",
+                                     f"exceeded {timeout:g}s wall clock")
+            # Dead workers: recover their in-flight job, keep the pool full.
+            for wpid in list(procs):
+                proc = procs[wpid]
+                if proc.is_alive():
+                    continue
+                procs.pop(wpid)
+                entry = inflight.pop(wpid, None)
+                if entry is not None:
+                    resolve_fail(entry[0], "crash",
+                                 f"worker exited with code {proc.exitcode}")
+            if outstanding and len(procs) < min(n_workers, len(outstanding)):
+                spawn()
+            # Lost-job recovery. A worker that dies between taking a job
+            # off the queue and its "start" message flushing leaves the
+            # job unaccounted: not pending, not in flight, never resolved.
+            # After a quiet grace period with nothing running and nothing
+            # queued, re-queue the unaccounted jobs (re-execution is
+            # harmless: cells are deterministic and content-addressed).
+            if (outstanding and not inflight and not pending
+                    and now - last_activity > stall_grace):
+                for idx in sorted(outstanding):
+                    resolve_fail(jobs_by_index[idx], "crash",
+                                 "worker died before reporting the job")
+                last_activity = now
+    finally:
+        for _ in range(len(procs)):
+            try:
+                job_q.put_nowait(None)
+            except _queue.Full:  # pragma: no cover
+                break
+        deadline = time.monotonic() + 2.0
+        for proc in procs.values():
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                _kill(proc)
+        job_q.cancel_join_thread()
+        result_q.cancel_join_thread()
+
+    attempts = {idx: job.attempt for idx, job in jobs_by_index.items()}
+    return done, failed, attempts
+
+
+# --------------------------------------------------------------- run_sweep
+def run_sweep(spec: GridSpec, workers: int = 1,
+              cache: Optional[ResultCache] = None,
+              cache_dir: str = DEFAULT_CACHE_DIR,
+              timeout: Optional[float] = None,
+              progress: Optional[Progress] = None,
+              stall_grace: float = 5.0) -> SweepResult:
+    """Run one sweep; see the module docstring for the full contract."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if cache is None:
+        cache = ResultCache(cache_dir)
+    if timeout is None:
+        timeout = spec.timeout
+    t0 = time.monotonic()
+    cells = spec.expand()
+    keys = [scenario_key(sc) for sc in cells]
+
+    outcomes: Dict[int, CellOutcome] = {}
+    records: Dict[int, Dict[str, Any]] = {}
+    primary: Dict[str, int] = {}     # key -> executing cell index
+    dependents: Dict[str, List[int]] = {}
+    jobs: List[Job] = []
+    for i, (sc, key) in enumerate(zip(cells, keys)):
+        cached = cache.get(key)
+        if cached is not None:
+            record = dict(cached)
+            record["id"] = sc.cell_id()
+            record["suite"] = spec.suite
+            records[i] = record
+            outcomes[i] = CellOutcome(index=i, id=sc.cell_id(), key=key,
+                                      outcome="hit")
+            if progress is not None:
+                progress(sc.cell_id(), "hit")
+        elif key in primary:
+            # Duplicate axis values collapse onto one execution.
+            dependents.setdefault(key, []).append(i)
+        else:
+            primary[key] = i
+            jobs.append(Job(index=i, key=key, scenario=sc))
+
+    if not jobs:
+        done, failures, attempts = {}, {}, {}
+    elif workers <= 1:
+        done, failures, attempts = _run_jobs_serial(jobs, spec.suite, progress)
+    else:
+        done, failures, attempts = _run_jobs_parallel(
+            jobs, workers, spec.suite, timeout, progress,
+            stall_grace=stall_grace)
+
+    for job in jobs:
+        i, key, sc = job.index, job.key, cells[job.index]
+        if i in done:
+            record = done[i]
+            cache.put(key, record)
+            records[i] = record
+            outcomes[i] = CellOutcome(
+                index=i, id=sc.cell_id(), key=key, outcome="miss",
+                attempts=attempts.get(i, 1),
+                host_seconds=record["host_seconds"],
+                events=record["events_executed"])
+        else:
+            kind, detail = failures[i]
+            outcomes[i] = CellOutcome(
+                index=i, id=sc.cell_id(), key=key, outcome="failed",
+                attempts=attempts.get(i, 1), error=f"{kind}: {detail}")
+        for dep in dependents.get(key, ()):  # same key -> share the result
+            dep_sc = cells[dep]
+            if i in done:
+                outcomes[dep] = CellOutcome(index=dep, id=dep_sc.cell_id(),
+                                            key=key, outcome="hit")
+            else:
+                kind, detail = failures[i]
+                outcomes[dep] = CellOutcome(
+                    index=dep, id=dep_sc.cell_id(), key=key,
+                    outcome="failed", error=f"{kind}: {detail}")
+
+    manifest = SweepManifest(
+        suite=spec.suite, workers=workers,
+        cells=[outcomes[i] for i in range(len(cells))],
+        elapsed=time.monotonic() - t0)
+
+    ordered = [records[i] for i in sorted(records)]
+    doc: Optional[Dict[str, Any]] = None
+    if ordered:
+        doc = {
+            "schema": _telemetry_schema(),
+            "suite": spec.suite,
+            "scale": spec.scales[0],
+            "repeat": spec.repeat,
+            "host": {
+                "python": sys.version.split()[0],
+                "machine": _host_platform.machine(),
+                "system": _host_platform.system(),
+            },
+            "records": ordered,
+        }
+    return SweepResult(spec=spec, manifest=manifest, records=ordered, doc=doc)
+
+
+def _telemetry_schema() -> str:
+    from repro.bench.telemetry import SCHEMA
+
+    return SCHEMA

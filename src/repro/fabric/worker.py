@@ -1,0 +1,113 @@
+"""Worker protocol for the experiment fabric.
+
+A worker process runs :func:`worker_main` over two queues: it takes
+:class:`Job` objects off the (bounded) job queue and answers on the
+result queue with tagged tuples::
+
+    ("start", index, None,   pid)   # picked the job up (arms the timeout)
+    ("done",  index, record, pid)   # cell executed, record attached
+    ("fail",  index, detail, pid)   # cell raised a typed error
+    ("bye",   index, None,   pid)   # saw the shutdown sentinel (None job)
+
+The scheduler (:mod:`repro.fabric.scheduler`) owns retries, timeouts,
+and crash recovery; the worker itself is deliberately dumb. Anything a
+cell raises is reported as a ``fail`` message — only a *dying worker
+process* (signal, hard crash, timeout kill) is recovered by the
+scheduler respawning the worker and re-queueing its job.
+
+:func:`execute_cell` is the single execution path for a cell: the serial
+sweep mode, the parallel workers, and the parity tests all call it, so
+a cell's virtual-time result cannot depend on where it ran.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.fabric.gridspec import Scenario
+
+__all__ = ["Job", "CellFailed", "execute_cell", "worker_main",
+           "CRASH_FLAG_ENV"]
+
+#: Test hook: when set to a path, a worker hard-exits (os._exit) before
+#: executing its next cell unless the flag file already exists — the file
+#: is created first, so exactly one crash happens and the retry succeeds.
+#: This exercises the real crash-recovery path deterministically.
+CRASH_FLAG_ENV = "REPRO_FABRIC_CRASH_FLAG"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of sweep work: a cell plus its content address."""
+
+    index: int
+    key: str
+    scenario: Scenario
+    attempt: int = 1
+
+
+class CellFailed(Exception):
+    """Typed per-cell failure recorded in the manifest.
+
+    A failed cell never aborts the sweep: the scheduler converts crashes
+    (after one retry), timeouts, and cell-level exceptions into this
+    outcome and carries on with the rest of the grid.
+    """
+
+    def __init__(self, cell_id: str, kind: str, detail: str) -> None:
+        super().__init__(f"{cell_id}: {kind}: {detail}")
+        self.cell_id = cell_id
+        #: "error" | "crash" | "timeout"
+        self.kind = kind
+        self.detail = detail
+
+
+def execute_cell(scenario: Scenario, suite: str = "sweep") -> Dict[str, Any]:
+    """Run one cell and return its telemetry record.
+
+    The record is exactly what :func:`repro.bench.telemetry.run_unit`
+    produces — schema-valid, baseline-comparable — with the ``id``
+    rewritten to the cell id so swept variants of one preset/label pair
+    stay distinguishable inside one document.
+    """
+    from repro.bench.telemetry import run_unit
+
+    faults: Optional[Any] = None
+    if scenario.faults is not None:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.loads(scenario.faults)
+    record = run_unit(scenario.preset, scenario.label, scenario.scale,
+                      native=scenario.native, repeat=scenario.repeat,
+                      suite=suite, overrides=dict(scenario.overrides),
+                      faults=faults, nodes=scenario.nodes)
+    record["id"] = scenario.cell_id()
+    return record
+
+
+def _maybe_crash_for_test() -> None:
+    flag = os.environ.get(CRASH_FLAG_ENV)
+    if flag and not os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8"):
+            pass
+        os._exit(43)  # simulate a hard worker death, bypassing cleanup
+
+
+def worker_main(job_q: Any, result_q: Any, suite: str = "sweep") -> None:
+    """Worker process entry point: drain jobs until the None sentinel."""
+    pid = os.getpid()
+    while True:
+        job = job_q.get()
+        if job is None:
+            result_q.put(("bye", -1, None, pid))
+            return
+        result_q.put(("start", job.index, None, pid))
+        _maybe_crash_for_test()
+        try:
+            record = execute_cell(job.scenario, suite=suite)
+            result_q.put(("done", job.index, record, pid))
+        except Exception as exc:  # noqa: BLE001 — typed failure, not death
+            result_q.put(("fail", job.index,
+                          f"{type(exc).__name__}: {exc}", pid))

@@ -12,11 +12,62 @@ robust.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, fields, replace
 from functools import cached_property
-from typing import Dict, NamedTuple
+from typing import Any, Dict, NamedTuple, Optional
 
-__all__ = ["MachineParams", "DerivedCosts", "PAPER_PLATFORM"]
+__all__ = ["MachineParams", "DerivedCosts", "PAPER_PLATFORM",
+           "stable_digest", "workload_hash", "fault_plan_hash"]
+
+
+# ---------------------------------------------------------- identity hashes
+# Scenario identity = machine identity (MachineParams.fingerprint) +
+# workload identity (workload_hash) + fault identity (fault_plan_hash).
+# The experiment fabric (repro.fabric) composes the three into one
+# content-address for every result record; they live here, next to the
+# machine fingerprint, so every layer derives identity the same way.
+
+def stable_digest(material: Any) -> str:
+    """sha256 over the canonical JSON form of ``material``.
+
+    Canonical = sorted keys, no whitespace variance — the digest is a pure
+    function of the *values*, stable across processes and interpreter
+    versions (no reliance on hash randomization or dict order).
+    """
+    text = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def workload_hash(app: str, params: Dict[str, Any], scale: float,
+                  seed: Optional[int] = None) -> str:
+    """Stable identity of one workload: app + working set + scale + seed.
+
+    Two runs with equal workload hashes execute the same application on
+    the same problem size; combined with :attr:`MachineParams.fingerprint`
+    and :func:`fault_plan_hash` this names a run's entire virtual-time
+    behaviour.
+    """
+    return stable_digest({
+        "app": app,
+        "params": {k: params[k] for k in sorted(params)},
+        "scale": scale,
+        "seed": seed,
+    })
+
+
+def fault_plan_hash(plan: Any) -> str:
+    """Stable identity of a fault plan (None = the perfect network).
+
+    Accepts anything :meth:`repro.faults.FaultPlan.coerce` does — a plan,
+    a bare seed, or a plan dict — and hashes the canonical dict form so
+    equal plans hash equally regardless of how they were spelled.
+    """
+    if plan is None:
+        return stable_digest(None)
+    from repro.faults import FaultPlan  # local: machine must not hard-depend on faults
+
+    return stable_digest(FaultPlan.coerce(plan).to_dict())
 
 
 class DerivedCosts(NamedTuple):

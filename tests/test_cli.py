@@ -244,3 +244,63 @@ class TestBenchCommands:
         doc = json.loads(path.read_text())
         assert doc["schema"] == "repro.bench.experiments/1"
         assert doc["figure3_advantage_pct"]
+
+
+class TestSweepCommands:
+    def _grid(self, tmp_path):
+        import json
+
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({
+            "presets": ["smp-2", "sw-dsm-2"], "labels": ["PI"],
+            "scales": [0.04], "suite": "sweep-cli"}), encoding="utf-8")
+        return str(path)
+
+    def test_sweep_run_then_rerun_all_cached(self, tmp_path, capsys):
+        import json
+
+        grid = self._grid(tmp_path)
+        cache = str(tmp_path / "cache")
+        out = str(tmp_path / "sweep.json")
+        manifest = str(tmp_path / "manifest.json")
+        assert main(["sweep", "run", "--grid", grid, "--cache-dir", cache,
+                     "--json-out", out, "--manifest", manifest]) == 0
+        text = capsys.readouterr().out
+        assert "miss" in text
+        doc = json.loads(open(out, encoding="utf-8").read())
+        assert doc["suite"] == "sweep-cli" and len(doc["records"]) == 2
+
+        # second run must be pure cache hits — the CI rerun gate
+        assert main(["sweep", "run", "--grid", grid, "--cache-dir", cache,
+                     "--expect-cached"]) == 0
+        assert "hit" in capsys.readouterr().out
+
+    def test_sweep_expect_cached_fails_cold(self, tmp_path, capsys):
+        grid = self._grid(tmp_path)
+        assert main(["sweep", "run", "--grid", grid,
+                     "--cache-dir", str(tmp_path / "cold"),
+                     "--expect-cached"]) == 3
+        capsys.readouterr()
+
+    def test_sweep_show_and_status(self, tmp_path, capsys):
+        grid = self._grid(tmp_path)
+        cache = str(tmp_path / "cache")
+        manifest = str(tmp_path / "manifest.json")
+        assert main(["sweep", "run", "--grid", grid, "--cache-dir", cache,
+                     "--manifest", manifest]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "show", "--grid", grid,
+                     "--cache-dir", cache]) == 0
+        assert "cached" in capsys.readouterr().out
+        assert main(["sweep", "status", "--manifest", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "miss" in out
+
+    def test_sweep_bad_grid_is_a_config_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"presets": ["nope"], "labels": ["PI"]}',
+                       encoding="utf-8")
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "run", "--grid", str(bad)])
