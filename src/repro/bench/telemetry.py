@@ -37,15 +37,16 @@ from repro.bench.runners import WORKLOADS, run_app_detailed
 from repro.config import ClusterConfig, preset
 from repro.errors import ConfigurationError
 
-__all__ = ["SCHEMA", "SuiteSpec", "SUITES", "config_fingerprint",
-           "run_unit", "run_suite_telemetry", "validate_telemetry",
-           "telemetry_to_json", "load_telemetry"]
+__all__ = ["SCHEMA", "CP_CATEGORIES", "SuiteSpec", "SUITES",
+           "config_fingerprint", "run_unit", "run_suite_telemetry",
+           "validate_telemetry", "telemetry_to_json", "load_telemetry"]
 
 #: Schema identifier; bump the suffix on breaking record changes.
 SCHEMA = "repro.bench.telemetry/1"
 
 #: critical-path categories, mirrored from repro.obs.critical_path
-_CP_CATEGORIES = ("compute", "protocol", "wire", "blocked")
+CP_CATEGORIES = ("compute", "protocol", "wire", "blocked")
+_CP_CATEGORIES = CP_CATEGORIES
 
 
 # ------------------------------------------------------------------ suites

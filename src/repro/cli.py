@@ -31,12 +31,17 @@ Commands:
 
 * ``sweep`` — the parallel experiment fabric (:mod:`repro.fabric`): run a
   declarative grid over N worker processes with a content-addressed result
-  cache, inspect a grid against the cache, or render a stored manifest::
+  cache, inspect a grid against the cache, render a stored manifest, watch
+  a live fleet, or export fleet metrics::
 
       python -m repro sweep run --grid grid.json --workers 4 \\
-          --json-out SWEEP.json --manifest sweep-manifest.json
+          --json-out SWEEP.json --manifest sweep-manifest.json \\
+          --events events.jsonl
       python -m repro sweep show --grid grid.json
       python -m repro sweep status --manifest sweep-manifest.json
+      python -m repro sweep watch --events events.jsonl --once
+      python -m repro sweep report --events events.jsonl \\
+          --json-out fleet.json --prom-out fleet.prom --trace-out fleet.trace
 
 * ``platforms`` — list the named platform presets.
 * ``apps`` — list the benchmark applications and their paper working sets.
@@ -300,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(bench compare/report consume it unchanged)")
     srun.add_argument("--manifest", metavar="FILE",
                       help="write the per-cell manifest JSON")
+    srun.add_argument("--events", metavar="FILE",
+                      help="write the structured event log (JSONL; 'sweep "
+                           "watch' and 'sweep report' consume it)")
+    srun.add_argument("--heartbeat", type=float, default=None,
+                      metavar="SECONDS",
+                      help="worker heartbeat interval (default: 1.0; "
+                           "heartbeats surface in-cell progress and "
+                           "progress-at-kill for timed-out cells)")
     srun.add_argument("--expect-cached", action="store_true",
                       help="exit 3 unless the sweep was 100%% cache hits "
                            "with zero simulated events (CI's rerun gate)")
@@ -314,6 +327,33 @@ def build_parser() -> argparse.ArgumentParser:
     sstat = ssub.add_parser("status", help="render a stored sweep manifest")
     sstat.add_argument("--manifest", required=True, metavar="FILE",
                        help="manifest JSON written by 'sweep run'")
+
+    swatch = ssub.add_parser(
+        "watch", help="live fleet console over a sweep's event log")
+    swatch.add_argument("--events", required=True, metavar="FILE",
+                        help="event log (JSONL) of a live or finished sweep")
+    swatch.add_argument("--once", action="store_true",
+                        help="render one snapshot and exit (CI-friendly)")
+    swatch.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="refresh period while tailing (default: 2.0)")
+
+    srep = ssub.add_parser(
+        "report", help="fleet report: JSON / Prometheus text / Chrome trace")
+    srep.add_argument("--events", required=True, metavar="FILE",
+                      help="event log (JSONL) written by 'sweep run'")
+    srep.add_argument("--manifest", metavar="FILE",
+                      help="join the sweep manifest (cache stats)")
+    srep.add_argument("--telemetry", metavar="FILE",
+                      help="join the telemetry document "
+                           "(critical-path category totals)")
+    srep.add_argument("--json-out", metavar="FILE",
+                      help="write the fleet report as JSON")
+    srep.add_argument("--prom-out", metavar="FILE",
+                      help="write a Prometheus-style text exposition")
+    srep.add_argument("--trace-out", metavar="FILE",
+                      help="write the sweep Chrome trace "
+                           "(one track per worker)")
 
     sub.add_parser("platforms", help="list platform presets")
     sub.add_parser("apps", help="list benchmarks and working sets")
@@ -606,6 +646,74 @@ def _cmd_bench(args) -> int:
         f"unhandled bench command {args.bench_command!r}")  # pragma: no cover
 
 
+def _sweep_watch(args) -> int:
+    """The ``sweep watch`` console: tail an event log, render the fleet."""
+    import time as _time
+
+    from repro.fabric.events import (read_events, tail_events,
+                                     validate_events)
+    from repro.obs.fleet import FleetReport
+
+    errors = validate_events(args.events)
+    if errors:
+        for err in errors:
+            print(f"event log error: {err}")
+        return 2
+    header, events = read_events(args.events)
+    report = FleetReport(header, events)
+    print(report.render())
+    if args.once:
+        return 0
+    # Live mode: tail complete lines until the sweep-end event appears.
+    offset = 0
+    with open(args.events, "rb") as fh:
+        fh.seek(0, 2)
+        offset = fh.tell()
+    try:
+        while not report.finished:
+            _time.sleep(max(args.interval, 0.1))
+            fresh, offset = tail_events(args.events, offset)
+            if not fresh:
+                continue
+            events.extend(fresh)
+            report = FleetReport(header, events)
+            print()
+            print(report.render())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _sweep_report(args) -> int:
+    """The ``sweep report`` exporter: fleet JSON / Prometheus / trace."""
+    import json as _json
+
+    from repro.obs.export import validate_chrome_trace
+    from repro.obs.fleet import fleet_report_from_path
+    from repro.tools.export import write_text
+
+    report = fleet_report_from_path(args.events, manifest_path=args.manifest,
+                                    telemetry_path=args.telemetry)
+    if args.json_out:
+        write_text(args.json_out, report.to_json())
+        print(f"fleet json : written to {args.json_out}")
+    if args.prom_out:
+        write_text(args.prom_out, report.to_prometheus())
+        print(f"prometheus : written to {args.prom_out}")
+    if args.trace_out:
+        trace = report.chrome_trace()
+        errors = validate_chrome_trace(trace)
+        if errors:  # a fleet bug, not a sweep problem — fail loudly
+            for err in errors:
+                print(f"trace schema error: {err}")
+            return 2
+        write_text(args.trace_out, _json.dumps(trace, sort_keys=True) + "\n")
+        print(f"trace      : written to {args.trace_out}")
+    if not (args.json_out or args.prom_out or args.trace_out):
+        print(report.to_json(), end="")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.fabric import (DEFAULT_CACHE_DIR, GridSpec, ResultCache,
                               SweepManifest, run_sweep, scenario_key)
@@ -614,6 +722,12 @@ def _cmd_sweep(args) -> int:
         manifest = SweepManifest.load(args.manifest)
         print(manifest.render())
         return 0 if not manifest.failed_cells() else 1
+
+    if args.sweep_command == "watch":
+        return _sweep_watch(args)
+
+    if args.sweep_command == "report":
+        return _sweep_report(args)
 
     spec = GridSpec.load(args.grid)
     cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
@@ -641,10 +755,14 @@ def _cmd_sweep(args) -> int:
         from repro.bench.telemetry import telemetry_to_json, validate_telemetry
         from repro.tools.export import write_text
 
+        sweep_kwargs = {}
+        if args.heartbeat is not None:
+            sweep_kwargs["heartbeat"] = args.heartbeat
         result = run_sweep(
             spec, workers=args.workers, cache_dir=cache_dir,
-            timeout=args.timeout,
-            progress=lambda cell, outcome: print(f"[sweep] {cell}: {outcome}"))
+            timeout=args.timeout, events=args.events,
+            progress=lambda cell, outcome: print(f"[sweep] {cell}: {outcome}"),
+            **sweep_kwargs)
         manifest = result.manifest
         print()
         print(manifest.render())
@@ -662,11 +780,18 @@ def _cmd_sweep(args) -> int:
         if args.manifest:
             manifest.save(args.manifest)
             print(f"manifest : written to {args.manifest}")
+        if args.events:
+            print(f"events   : written to {args.events} "
+                  f"({len(result.event_log or ())} event(s))")
         if args.expect_cached and not manifest.all_cached():
             counts = manifest.counts()
             print(f"expect-cached: FAILED — {counts['miss']} miss(es), "
                   f"{counts['failed']} failure(s), "
                   f"{manifest.simulated_events()} simulated events")
+            for cell in manifest.cells:
+                if cell.outcome != "hit":   # name the offenders
+                    print(f"expect-cached:   {cell.outcome}: {cell.id} "
+                          f"({cell.key[:12]})")
             return 3
         return 0 if not manifest.failed_cells() else 1
 

@@ -18,13 +18,17 @@ Surfaced as ``python -m repro sweep`` and behind
 from repro.fabric.cache import (CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache,
                                 TelemetryCache, canonical_record,
                                 canonical_records_json, scenario_key)
+from repro.fabric.events import (EVENT_KINDS, EVENTS_SCHEMA, EventLog,
+                                 read_events, tail_events, validate_events)
 from repro.fabric.gridspec import GridSpec, Scenario
 from repro.fabric.manifest import MANIFEST_SCHEMA, CellOutcome, SweepManifest
-from repro.fabric.scheduler import SweepResult, run_sweep
+from repro.fabric.scheduler import DEFAULT_HEARTBEAT, SweepResult, run_sweep
 from repro.fabric.worker import CellFailed, Job, execute_cell
 
 __all__ = ["GridSpec", "Scenario", "ResultCache", "TelemetryCache",
            "scenario_key", "canonical_record", "canonical_records_json",
            "CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "MANIFEST_SCHEMA",
            "CellOutcome", "SweepManifest", "SweepResult", "run_sweep",
-           "CellFailed", "Job", "execute_cell"]
+           "CellFailed", "Job", "execute_cell",
+           "EVENTS_SCHEMA", "EVENT_KINDS", "EventLog", "read_events",
+           "tail_events", "validate_events", "DEFAULT_HEARTBEAT"]

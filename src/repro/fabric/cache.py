@@ -129,6 +129,27 @@ class ResultCache:
         os.replace(tmp, path)
         self.stores += 1
 
+    def stats(self) -> Dict[str, Any]:
+        """Cache effectiveness as a first-class number.
+
+        ``hits`` / ``misses`` / ``stores`` count this instance's traffic;
+        ``entries`` and ``bytes`` (the evictable on-disk footprint) are
+        measured from the store itself, so they reflect every producer
+        that ever wrote to this directory.
+        """
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:  # pragma: no cover — entry evicted mid-walk
+                    pass
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "entries": entries, "bytes": size,
+                "root": str(self.root)}
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0

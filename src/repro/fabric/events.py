@@ -1,0 +1,267 @@
+"""Structured sweep event log: the fleet's flight recorder.
+
+A sweep with the event log enabled appends one JSON object per line to
+``events.jsonl`` (written next to the manifest by convention). The first
+line is a **header** naming the schema, the suite, and the grid size;
+every following line is one **event** — a cell or worker lifecycle
+transition stamped with a monotonic host timestamp (seconds since the
+sweep began, single writer, single clock, so timestamps never go
+backwards).
+
+The log is append-only and flushed per line, which is what makes
+``python -m repro sweep watch`` work: a reader can tail a *live* sweep's
+file and always sees complete lines. :func:`validate_events` is the
+schema gate (mirroring ``validate_telemetry``); :class:`FleetReport
+<repro.obs.fleet.FleetReport>` rolls a finished or live log up into
+fleet metrics.
+
+Host timestamps live only here and in the manifest — they never enter
+``canonical_record``, so enabling the log cannot perturb the sweep
+determinism contract.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["EVENTS_SCHEMA", "EVENT_KINDS", "EventLog", "read_events",
+           "tail_events", "validate_events"]
+
+EVENTS_SCHEMA = "repro.fabric.events/1"
+
+#: The closed set of event kinds. Cell lifecycle: enqueued -> dispatched
+#: -> started -> (heartbeat)* -> done | failed | retried (back to
+#: dispatched); cache-hit cells skip execution entirely. Worker
+#: lifecycle: spawn -> (kill | death) -> respawn -> ... -> exit.
+EVENT_KINDS = (
+    "sweep-begin", "sweep-end",
+    "enqueued", "cache-hit", "dispatched", "started", "heartbeat",
+    "done", "failed", "retried",
+    "worker-spawn", "worker-kill", "worker-death", "worker-respawn",
+    "worker-exit",
+)
+
+#: Event kinds that must carry a ``cell`` grid index.
+_CELL_KINDS = frozenset({"enqueued", "cache-hit", "dispatched", "started",
+                         "heartbeat", "done", "failed", "retried"})
+
+#: Event kinds that must carry a ``worker`` id.
+_WORKER_KINDS = frozenset({"worker-spawn", "worker-kill", "worker-death",
+                           "worker-respawn", "worker-exit"})
+
+
+class EventLog:
+    """Append-only writer for one sweep's event stream.
+
+    Events are kept in memory (``self.events``) and — when ``path`` is
+    given — appended to disk as JSONL, one flushed line each, so a
+    concurrent ``sweep watch`` never sees a torn record. All timestamps
+    come from this object's single monotonic clock; worker-side progress
+    is stamped when the *scheduler* receives it.
+    """
+
+    def __init__(self, path: Optional[str] = None, suite: str = "sweep",
+                 cells: int = 0, workers: int = 0) -> None:
+        self.path = Path(path) if path is not None else None
+        self.suite = suite
+        self.header: Dict[str, Any] = {
+            "schema": EVENTS_SCHEMA, "suite": suite,
+            "cells": int(cells), "workers": int(workers),
+            "wall_time": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        self.events: List[Dict[str, Any]] = []
+        self._t0 = time.monotonic()
+        self._last_t = 0.0
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write_line(self.header)
+
+    # ----------------------------------------------------------------- emit
+    def emit(self, kind: str, cell: Optional[int] = None,
+             id: Optional[str] = None, key: Optional[str] = None,
+             worker: Optional[int] = None,
+             data: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Record one event; kind-specific payload goes under ``data``."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        # Clamp to the last emitted timestamp: time.monotonic() is
+        # monotonic per call site, and a single writer makes the whole
+        # stream non-decreasing by construction.
+        t = max(time.monotonic() - self._t0, self._last_t)
+        self._last_t = t
+        event: Dict[str, Any] = {"t": round(t, 6), "kind": kind}
+        if cell is not None:
+            event["cell"] = int(cell)
+        if id is not None:
+            event["id"] = id
+        if key is not None:
+            event["key"] = key
+        if worker is not None:
+            event["worker"] = int(worker)
+        if data:
+            event["data"] = dict(data)
+        self.events.append(event)
+        if self._fh is not None:
+            self._write_line(event)
+        return event
+
+    def _write_line(self, obj: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(obj, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    # ---------------------------------------------------------------- close
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# --------------------------------------------------------------------- read
+def read_events(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load a whole event log: ``(header, events)``.
+
+    Raises ``ValueError`` on a missing/foreign header; individual
+    malformed event lines raise too — use :func:`validate_events` for a
+    forgiving, error-listing pass.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty event log")
+        header = json.loads(first)
+        if header.get("schema") != EVENTS_SCHEMA:
+            raise ValueError(
+                f"{path}: event schema must be {EVENTS_SCHEMA!r}, "
+                f"got {header.get('schema')!r}")
+        events = [json.loads(line) for line in fh if line.strip()]
+    return header, events
+
+
+def tail_events(path: str, offset: int = 0
+                ) -> Tuple[List[Dict[str, Any]], int]:
+    """Incremental read for live tailing: events after byte ``offset``.
+
+    Returns ``(new_events, new_offset)``; only complete lines are
+    consumed, so a partially-flushed trailing line is picked up by the
+    next call. The header line (offset 0) is skipped, not returned.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        fh.seek(offset)
+        while True:
+            pos = fh.tell()
+            line = fh.readline()
+            if not line or not line.endswith("\n"):
+                return events, pos
+            if offset == 0 and pos == 0:
+                continue  # the header line
+            if line.strip():
+                events.append(json.loads(line))
+
+
+# ----------------------------------------------------------------- validate
+def validate_events(source: Union[str, List[str]]) -> List[str]:
+    """Schema-check an event log; returns a list of problems (empty =
+    valid). ``source`` is a file path or a list of JSONL lines.
+
+    Mirrors ``validate_telemetry``: shallow by design, guarding the
+    contract ``sweep watch``, the fleet report, and CI rely on — header
+    schema, known kinds, per-kind required fields, and non-decreasing
+    host timestamps.
+    """
+    if isinstance(source, str):
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            return [f"cannot read event log: {exc}"]
+    else:
+        lines = list(source)
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        return ["event log is empty (no header line)"]
+    errors: List[str] = []
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"header is not valid JSON: {exc}"]
+    if not isinstance(header, dict):
+        return ["header must be a JSON object"]
+    if header.get("schema") != EVENTS_SCHEMA:
+        errors.append(f"header schema must be {EVENTS_SCHEMA!r}, "
+                      f"got {header.get('schema')!r}")
+    if not isinstance(header.get("suite"), str) or not header.get("suite"):
+        errors.append("header.suite must be a non-empty string")
+    for count_key in ("cells", "workers"):
+        if not isinstance(header.get(count_key), int) \
+                or isinstance(header.get(count_key), bool) \
+                or header.get(count_key, 0) < 0:
+            errors.append(f"header.{count_key} must be a non-negative int")
+    last_t = 0.0
+    for i, line in enumerate(lines[1:], start=1):
+        where = f"line {i + 1}"
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not valid JSON: {exc}")
+            continue
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        kind = ev.get("kind")
+        if kind not in EVENT_KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        t = ev.get("t")
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            errors.append(f"{where}: 't' must be a non-negative number")
+        else:
+            if t < last_t:
+                errors.append(f"{where}: timestamp went backwards "
+                              f"({t} < {last_t})")
+            last_t = max(last_t, float(t))
+        if kind in _CELL_KINDS:
+            cell = ev.get("cell")
+            if not isinstance(cell, int) or isinstance(cell, bool) or cell < 0:
+                errors.append(f"{where} ({kind}): 'cell' must be a "
+                              "non-negative grid index")
+        if kind in _WORKER_KINDS and not isinstance(ev.get("worker"), int):
+            errors.append(f"{where} ({kind}): 'worker' must be an int id")
+        if kind == "heartbeat":
+            data = ev.get("data")
+            if not isinstance(data, dict):
+                errors.append(f"{where} (heartbeat): missing 'data'")
+            else:
+                for field in ("events_executed", "virtual_seconds"):
+                    if not isinstance(data.get(field), (int, float)) \
+                            or isinstance(data.get(field), bool):
+                        errors.append(f"{where} (heartbeat): data.{field} "
+                                      "must be a number")
+        if kind == "failed" and not isinstance(ev.get("data", {}), dict):
+            errors.append(f"{where} (failed): 'data' must be an object")
+    kinds = set()
+    for line in lines[1:]:
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(ev, dict):
+            kinds.add(ev.get("kind"))
+    if "sweep-begin" not in kinds:
+        errors.append("log has no 'sweep-begin' event")
+    return errors

@@ -37,19 +37,28 @@ class CellOutcome:
     events: int = 0
     #: "<kind>: <detail>" for failed cells
     error: Optional[str] = None
+    #: last reported in-cell progress for cells that died mid-execution
+    #: (timeout kill / crash): {"events_executed": int,
+    #: "virtual_seconds": float}. None when the cell finished normally
+    #: or no heartbeat ever arrived.
+    progress: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"index": self.index, "id": self.id, "key": self.key,
-                "outcome": self.outcome, "attempts": self.attempts,
-                "host_seconds": self.host_seconds, "events": self.events,
-                "error": self.error}
+        d = {"index": self.index, "id": self.id, "key": self.key,
+             "outcome": self.outcome, "attempts": self.attempts,
+             "host_seconds": self.host_seconds, "events": self.events,
+             "error": self.error}
+        if self.progress is not None:
+            d["progress"] = self.progress
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "CellOutcome":
         return cls(index=int(d["index"]), id=d["id"], key=d["key"],
                    outcome=d["outcome"], attempts=int(d.get("attempts", 1)),
                    host_seconds=float(d.get("host_seconds", 0.0)),
-                   events=int(d.get("events", 0)), error=d.get("error"))
+                   events=int(d.get("events", 0)), error=d.get("error"),
+                   progress=d.get("progress"))
 
 
 @dataclass
@@ -61,6 +70,10 @@ class SweepManifest:
     cells: List[CellOutcome] = field(default_factory=list)
     #: total wall seconds of the sweep (queue wait + execution)
     elapsed: float = 0.0
+    #: snapshot of ResultCache.stats() at the end of the sweep, so cache
+    #: effectiveness is a stored first-class number (None on manifests
+    #: written before the stats existed)
+    cache: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------- queries
     def counts(self) -> Dict[str, int]:
@@ -68,6 +81,12 @@ class SweepManifest:
         for cell in self.cells:
             out[cell.outcome] = out.get(cell.outcome, 0) + 1
         return out
+
+    def hit_ratio(self) -> float:
+        """Fraction of cells served from the cache (0.0 on an empty grid)."""
+        if not self.cells:
+            return 0.0
+        return self.counts()["hit"] / len(self.cells)
 
     def simulated_events(self) -> int:
         """Engine events actually executed (hits contribute zero)."""
@@ -83,11 +102,14 @@ class SweepManifest:
 
     # ------------------------------------------------------------------ io
     def to_dict(self) -> Dict[str, Any]:
-        return {"schema": MANIFEST_SCHEMA, "suite": self.suite,
-                "workers": self.workers, "elapsed": self.elapsed,
-                "counts": self.counts(),
-                "simulated_events": self.simulated_events(),
-                "cells": [c.to_dict() for c in self.cells]}
+        d = {"schema": MANIFEST_SCHEMA, "suite": self.suite,
+             "workers": self.workers, "elapsed": self.elapsed,
+             "counts": self.counts(),
+             "simulated_events": self.simulated_events(),
+             "cells": [c.to_dict() for c in self.cells]}
+        if self.cache is not None:
+            d["cache"] = self.cache
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "SweepManifest":
@@ -97,7 +119,8 @@ class SweepManifest:
                 f"got {d.get('schema')!r}")
         return cls(suite=d["suite"], workers=int(d["workers"]),
                    elapsed=float(d.get("elapsed", 0.0)),
-                   cells=[CellOutcome.from_dict(c) for c in d.get("cells", [])])
+                   cells=[CellOutcome.from_dict(c) for c in d.get("cells", [])],
+                   cache=d.get("cache"))
 
     def dumps(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -118,15 +141,29 @@ class SweepManifest:
 
         rows = []
         for cell in self.cells:
+            error = cell.error or ""
+            if cell.progress is not None:
+                error += (f" [at kill: {cell.progress['events_executed']} "
+                          f"events, "
+                          f"{cell.progress['virtual_seconds']:.6f}s virtual]")
             rows.append([cell.id, cell.key[:12], cell.outcome, cell.attempts,
                          f"{cell.host_seconds * 1e3:.1f}", cell.events,
-                         cell.error or ""])
+                         error])
         counts = self.counts()
         title = (f"sweep {self.suite!r}: {len(self.cells)} cells — "
                  f"{counts['hit']} hit / {counts['miss']} miss / "
-                 f"{counts['failed']} failed — "
+                 f"{counts['failed']} failed "
+                 f"({100.0 * self.hit_ratio():.0f}% cache hits) — "
                  f"{self.simulated_events()} simulated events, "
                  f"{self.elapsed:.1f}s wall, {self.workers} worker(s)")
-        return render_table(
+        table = render_table(
             ["cell", "key", "outcome", "tries", "host ms", "events", "error"],
             rows, title=title)
+        if self.cache is not None:
+            table += (f"\ncache: {self.cache.get('hits', 0)} hit(s), "
+                      f"{self.cache.get('misses', 0)} miss(es), "
+                      f"{self.cache.get('stores', 0)} store(s); "
+                      f"{self.cache.get('entries', 0)} entries / "
+                      f"{self.cache.get('bytes', 0)} evictable bytes "
+                      f"in {self.cache.get('root', '?')}")
+        return table

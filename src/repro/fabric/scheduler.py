@@ -16,6 +16,16 @@
    document (records in grid order, independent of completion order, so
    parallel and serial sweeps produce identical documents).
 
+Observability: with ``events`` set, every cell/worker lifecycle
+transition is appended to a structured event log
+(:mod:`repro.fabric.events`) as it happens, and workers report in-cell
+progress heartbeats (engine events executed, virtual seconds) over the
+result queue — so a live sweep can be watched (``sweep watch``), a slow
+cell can be told from a stuck one, and a timed-out cell's outcome
+records its progress-at-kill. Host-side timestamps stay in the event
+log and the manifest; they never enter ``canonical_record``, so the
+telemetry document is byte-identical with the log on or off.
+
 The telemetry document uses the unchanged ``repro.bench.telemetry``
 schema: ``bench compare``, the baseline gates, and the report generator
 consume fabric output directly.
@@ -30,20 +40,38 @@ import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.fabric.cache import DEFAULT_CACHE_DIR, ResultCache, scenario_key
+from repro.fabric.events import EventLog
 from repro.fabric.gridspec import GridSpec
 from repro.fabric.manifest import CellOutcome, SweepManifest
-from repro.fabric.worker import Job, execute_cell, worker_main
+from repro.fabric.worker import (Job, execute_cell, install_heartbeat,
+                                 worker_main)
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["SweepResult", "run_sweep", "DEFAULT_HEARTBEAT"]
 
 #: A job is re-queued this many times after its worker dies or times out
 #: before its cell is recorded as failed ("retried once").
 _MAX_ATTEMPTS = 2
 
+#: Default in-cell progress heartbeat period in host seconds.
+DEFAULT_HEARTBEAT = 1.0
+
+#: Progress callback: (cell id, outcome) per resolved attempt, where
+#: outcome is "hit" | "miss" | "failed" | "retry". Cached cells,
+#: duplicate (shared-result) cells, and retried attempts all report —
+#: a fully-cached sweep narrates every cell, same as an executed one.
 Progress = Callable[[str, str], None]
+
+#: Per-job execution results: done records, failures as (kind, detail),
+#: attempt counts, and last-heartbeat progress for killed cells.
+_JobResults = Tuple[Dict[int, Dict[str, Any]], Dict[int, Tuple[str, str]],
+                    Dict[int, int], Dict[int, Dict[str, Any]]]
+
+
+def _null_emit(kind: str, **fields: Any) -> None:
+    """Event sink when no log is attached."""
 
 
 @dataclass
@@ -56,29 +84,67 @@ class SweepResult:
     records: List[Dict[str, Any]] = field(default_factory=list)
     #: telemetry document (None when every cell failed)
     doc: Optional[Dict[str, Any]] = None
+    #: the sweep's event log (None unless ``events`` was requested)
+    event_log: Optional[EventLog] = None
 
 
 # ------------------------------------------------------------ serial path
-def _run_jobs_serial(jobs: List[Job], suite: str, progress: Optional[Progress]
-                     ) -> Tuple[Dict[int, Dict[str, Any]],
-                                Dict[int, Tuple[str, str]], Dict[int, int]]:
+def _run_jobs_serial(jobs: List[Job], suite: str, progress: Optional[Progress],
+                     emit: Callable[..., Any] = _null_emit,
+                     heartbeat: Optional[float] = None) -> _JobResults:
     """Reference execution: same cell path as the workers, inline.
 
     Per-cell timeouts are not enforced inline (there is no worker to
-    kill); in-cell exceptions still become typed failures.
+    kill); in-cell exceptions still become typed failures. With an event
+    log attached, the inline path reports as worker 0 — including
+    heartbeats, via the same engine hook the worker processes use.
     """
     done: Dict[int, Dict[str, Any]] = {}
     failed: Dict[int, Tuple[str, str]] = {}
-    for job in jobs:
-        try:
-            done[job.index] = execute_cell(job.scenario, suite=suite)
-            if progress is not None:
-                progress(job.scenario.cell_id(), "miss")
-        except Exception as exc:  # noqa: BLE001 — typed CellFailed outcome
-            failed[job.index] = ("error", f"{type(exc).__name__}: {exc}")
-            if progress is not None:
-                progress(job.scenario.cell_id(), "failed")
-    return done, failed, {job.index: 1 for job in jobs}
+    current: Dict[str, Any] = {"index": -1}
+    hooked = False
+    if heartbeat is not None and emit is not _null_emit:
+        def beat(events: int, virtual: float) -> None:
+            if current["index"] >= 0:
+                emit("heartbeat", cell=current["index"], worker=0,
+                     data={"events_executed": int(events),
+                           "virtual_seconds": float(virtual)})
+
+        install_heartbeat(beat, heartbeat)
+        hooked = True
+    emit("worker-spawn", worker=0, data={"inline": True})
+    try:
+        for job in jobs:
+            cell_id = job.scenario.cell_id()
+            emit("dispatched", cell=job.index, id=cell_id, key=job.key,
+                 data={"attempt": job.attempt})
+            emit("started", cell=job.index, id=cell_id, worker=0)
+            current["index"] = job.index
+            try:
+                record = execute_cell(job.scenario, suite=suite)
+                done[job.index] = record
+                emit("done", cell=job.index, id=cell_id, worker=0,
+                     data={"events_executed": record["events_executed"],
+                           "virtual_seconds": record["virtual_seconds"],
+                           "host_seconds": record["host_seconds"]})
+                if progress is not None:
+                    progress(cell_id, "miss")
+            except Exception as exc:  # noqa: BLE001 — typed CellFailed outcome
+                failed[job.index] = ("error", f"{type(exc).__name__}: {exc}")
+                emit("failed", cell=job.index, id=cell_id, worker=0,
+                     data={"kind": "error",
+                           "detail": f"{type(exc).__name__}: {exc}"})
+                if progress is not None:
+                    progress(cell_id, "failed")
+            finally:
+                current["index"] = -1
+    finally:
+        if hooked:
+            from repro.sim.engine import clear_host_hook
+
+            clear_host_hook()
+        emit("worker-exit", worker=0, data={"inline": True})
+    return done, failed, {job.index: 1 for job in jobs}, {}
 
 
 # ---------------------------------------------------------- parallel path
@@ -93,20 +159,28 @@ def _kill(proc: multiprocessing.Process) -> None:
 def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
                        timeout: Optional[float],
                        progress: Optional[Progress],
-                       stall_grace: float = 5.0
-                       ) -> Tuple[Dict[int, Dict[str, Any]],
-                                  Dict[int, Tuple[str, str]], Dict[int, int]]:
+                       stall_grace: float = 5.0,
+                       emit: Callable[..., Any] = _null_emit,
+                       heartbeat: Optional[float] = DEFAULT_HEARTBEAT
+                       ) -> _JobResults:
     ctx = multiprocessing.get_context()
     n_workers = min(workers, len(jobs))
     job_q = ctx.Queue(maxsize=max(2, 2 * n_workers))  # bounded by design
     result_q = ctx.Queue()
     procs: Dict[int, Any] = {}
+    wids: Dict[int, int] = {}      # worker pid -> stable worker id
+    next_wid = [0]
 
-    def spawn() -> None:
-        proc = ctx.Process(target=worker_main, args=(job_q, result_q, suite),
+    def spawn(respawn: bool = False) -> None:
+        proc = ctx.Process(target=worker_main,
+                           args=(job_q, result_q, suite, heartbeat),
                            daemon=True)
         proc.start()
         procs[proc.pid] = proc
+        wids[proc.pid] = next_wid[0]
+        emit("worker-respawn" if respawn else "worker-spawn",
+             worker=next_wid[0], data={"pid": proc.pid})
+        next_wid[0] += 1
 
     for _ in range(n_workers):
         spawn()
@@ -116,20 +190,31 @@ def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
     inflight: Dict[int, Tuple[Job, float]] = {}   # worker pid -> (job, t0)
     done: Dict[int, Dict[str, Any]] = {}
     failed: Dict[int, Tuple[str, str]] = {}
+    last_beat: Dict[int, Dict[str, Any]] = {}     # job index -> progress
+    at_kill: Dict[int, Dict[str, Any]] = {}       # job index -> progress
     outstanding = set(jobs_by_index)
 
     def resolve_fail(job: Job, kind: str, detail: str) -> None:
         """Retry a lost job once, then record the typed failure."""
+        cell_id = job.scenario.cell_id()
         if job.attempt < _MAX_ATTEMPTS:
             retry = Job(index=job.index, key=job.key,
                         scenario=job.scenario, attempt=job.attempt + 1)
             jobs_by_index[job.index] = retry
             pending.append(retry)
+            last_beat.pop(job.index, None)  # stale: belongs to the dead try
+            emit("retried", cell=job.index, id=cell_id,
+                 data={"attempt": retry.attempt, "kind": kind,
+                       "detail": detail})
+            if progress is not None:
+                progress(cell_id, "retry")
         else:
             failed[job.index] = (kind, detail)
             outstanding.discard(job.index)
+            emit("failed", cell=job.index, id=cell_id,
+                 data={"kind": kind, "detail": detail})
             if progress is not None:
-                progress(job.scenario.cell_id(), "failed")
+                progress(cell_id, "failed")
 
     try:
         last_activity = time.monotonic()
@@ -139,7 +224,10 @@ def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
                     job_q.put_nowait(pending[0])
                 except _queue.Full:
                     break
-                pending.popleft()
+                job = pending.popleft()
+                emit("dispatched", cell=job.index,
+                     id=job.scenario.cell_id(), key=job.key,
+                     data={"attempt": job.attempt})
             try:
                 tag, idx, payload, pid = result_q.get(timeout=0.05)
             except _queue.Empty:
@@ -149,16 +237,38 @@ def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
                 last_activity = now
             if tag == "start":
                 inflight[pid] = (jobs_by_index[idx], now)
+                emit("started", cell=idx,
+                     id=jobs_by_index[idx].scenario.cell_id(),
+                     worker=wids.get(pid))
+            elif tag == "beat":
+                # Progress from a live cell; stale beats (job already
+                # resolved, worker already reaped) are dropped.
+                if idx in outstanding and pid in procs:
+                    last_beat[idx] = payload
+                    emit("heartbeat", cell=idx, worker=wids.get(pid),
+                         data=payload)
             elif tag == "done":
                 done[idx] = payload
                 outstanding.discard(idx)
                 inflight.pop(pid, None)
+                last_beat.pop(idx, None)
+                emit("done", cell=idx,
+                     id=jobs_by_index[idx].scenario.cell_id(),
+                     worker=wids.get(pid),
+                     data={"events_executed": payload["events_executed"],
+                           "virtual_seconds": payload["virtual_seconds"],
+                           "host_seconds": payload["host_seconds"]})
                 if progress is not None:
                     progress(jobs_by_index[idx].scenario.cell_id(), "miss")
             elif tag == "fail":
                 inflight.pop(pid, None)
                 failed[idx] = ("error", payload)
                 outstanding.discard(idx)
+                last_beat.pop(idx, None)
+                emit("failed", cell=idx,
+                     id=jobs_by_index[idx].scenario.cell_id(),
+                     worker=wids.get(pid),
+                     data={"kind": "error", "detail": payload})
                 if progress is not None:
                     progress(jobs_by_index[idx].scenario.cell_id(), "failed")
             # Per-job wall-clock timeout: kill the worker, recover the job.
@@ -168,22 +278,40 @@ def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
                     if now - t0 > timeout:
                         inflight.pop(wpid)
                         proc = procs.pop(wpid, None)
+                        prog = last_beat.get(job.index)
+                        if prog is not None:
+                            at_kill[job.index] = prog
+                        emit("worker-kill", worker=wids.get(wpid, -1),
+                             cell=job.index, data={
+                                 "pid": wpid, "timeout": timeout,
+                                 "progress": prog})
                         if proc is not None:
                             _kill(proc)
-                        resolve_fail(job, "timeout",
-                                     f"exceeded {timeout:g}s wall clock")
+                        detail = f"exceeded {timeout:g}s wall clock"
+                        if prog is not None:
+                            detail += (f" at {prog['events_executed']} "
+                                       f"events / "
+                                       f"{prog['virtual_seconds']:.6f}s "
+                                       f"virtual")
+                        resolve_fail(job, "timeout", detail)
             # Dead workers: recover their in-flight job, keep the pool full.
             for wpid in list(procs):
                 proc = procs[wpid]
                 if proc.is_alive():
                     continue
                 procs.pop(wpid)
+                emit("worker-death", worker=wids.get(wpid, -1),
+                     data={"pid": wpid, "exitcode": proc.exitcode})
                 entry = inflight.pop(wpid, None)
                 if entry is not None:
-                    resolve_fail(entry[0], "crash",
+                    job = entry[0]
+                    prog = last_beat.get(job.index)
+                    if prog is not None:
+                        at_kill[job.index] = prog
+                    resolve_fail(job, "crash",
                                  f"worker exited with code {proc.exitcode}")
             if outstanding and len(procs) < min(n_workers, len(outstanding)):
-                spawn()
+                spawn(respawn=True)
             # Lost-job recovery. A worker that dies between taking a job
             # off the queue and its "start" message flushing leaves the
             # job unaccounted: not pending, not in flight, never resolved.
@@ -203,15 +331,16 @@ def _run_jobs_parallel(jobs: List[Job], workers: int, suite: str,
             except _queue.Full:  # pragma: no cover
                 break
         deadline = time.monotonic() + 2.0
-        for proc in procs.values():
+        for pid, proc in procs.items():
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():
                 _kill(proc)
+            emit("worker-exit", worker=wids.get(pid, -1), data={"pid": pid})
         job_q.cancel_join_thread()
         result_q.cancel_join_thread()
 
     attempts = {idx: job.attempt for idx, job in jobs_by_index.items()}
-    return done, failed, attempts
+    return done, failed, attempts, at_kill
 
 
 # --------------------------------------------------------------- run_sweep
@@ -220,10 +349,20 @@ def run_sweep(spec: GridSpec, workers: int = 1,
               cache_dir: str = DEFAULT_CACHE_DIR,
               timeout: Optional[float] = None,
               progress: Optional[Progress] = None,
-              stall_grace: float = 5.0) -> SweepResult:
-    """Run one sweep; see the module docstring for the full contract."""
+              stall_grace: float = 5.0,
+              events: Optional[Union[str, EventLog]] = None,
+              heartbeat: Optional[float] = DEFAULT_HEARTBEAT) -> SweepResult:
+    """Run one sweep; see the module docstring for the full contract.
+
+    ``events`` enables the structured event log: a path (the
+    ``events.jsonl`` file to write) or a pre-built
+    :class:`~repro.fabric.events.EventLog`. ``heartbeat`` is the in-cell
+    progress period in host seconds (None disables heartbeats).
+    """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if heartbeat is not None and heartbeat <= 0:
+        raise ValueError(f"heartbeat must be > 0 seconds, got {heartbeat}")
     if cache is None:
         cache = ResultCache(cache_dir)
     if timeout is None:
@@ -232,69 +371,103 @@ def run_sweep(spec: GridSpec, workers: int = 1,
     cells = spec.expand()
     keys = [scenario_key(sc) for sc in cells]
 
+    owns_log = isinstance(events, str)
+    log: Optional[EventLog] = None
+    if owns_log:
+        log = EventLog(events, suite=spec.suite, cells=len(cells),
+                       workers=workers)
+    elif events is not None:
+        log = events
+    emit = log.emit if log is not None else _null_emit
+    emit("sweep-begin", data={"suite": spec.suite, "cells": len(cells),
+                              "workers": workers})
+
     outcomes: Dict[int, CellOutcome] = {}
     records: Dict[int, Dict[str, Any]] = {}
     primary: Dict[str, int] = {}     # key -> executing cell index
     dependents: Dict[str, List[int]] = {}
     jobs: List[Job] = []
-    for i, (sc, key) in enumerate(zip(cells, keys)):
-        cached = cache.get(key)
-        if cached is not None:
-            record = dict(cached)
-            record["id"] = sc.cell_id()
-            record["suite"] = spec.suite
-            records[i] = record
-            outcomes[i] = CellOutcome(index=i, id=sc.cell_id(), key=key,
-                                      outcome="hit")
-            if progress is not None:
-                progress(sc.cell_id(), "hit")
-        elif key in primary:
-            # Duplicate axis values collapse onto one execution.
-            dependents.setdefault(key, []).append(i)
-        else:
-            primary[key] = i
-            jobs.append(Job(index=i, key=key, scenario=sc))
+    try:
+        for i, (sc, key) in enumerate(zip(cells, keys)):
+            cached = cache.get(key)
+            if cached is not None:
+                record = dict(cached)
+                record["id"] = sc.cell_id()
+                record["suite"] = spec.suite
+                records[i] = record
+                outcomes[i] = CellOutcome(index=i, id=sc.cell_id(), key=key,
+                                          outcome="hit")
+                emit("cache-hit", cell=i, id=sc.cell_id(), key=key)
+                if progress is not None:
+                    progress(sc.cell_id(), "hit")
+            elif key in primary:
+                # Duplicate axis values collapse onto one execution.
+                dependents.setdefault(key, []).append(i)
+            else:
+                primary[key] = i
+                jobs.append(Job(index=i, key=key, scenario=sc))
+                emit("enqueued", cell=i, id=sc.cell_id(), key=key)
 
-    if not jobs:
-        done, failures, attempts = {}, {}, {}
-    elif workers <= 1:
-        done, failures, attempts = _run_jobs_serial(jobs, spec.suite, progress)
-    else:
-        done, failures, attempts = _run_jobs_parallel(
-            jobs, workers, spec.suite, timeout, progress,
-            stall_grace=stall_grace)
-
-    for job in jobs:
-        i, key, sc = job.index, job.key, cells[job.index]
-        if i in done:
-            record = done[i]
-            cache.put(key, record)
-            records[i] = record
-            outcomes[i] = CellOutcome(
-                index=i, id=sc.cell_id(), key=key, outcome="miss",
-                attempts=attempts.get(i, 1),
-                host_seconds=record["host_seconds"],
-                events=record["events_executed"])
+        if not jobs:
+            done, failures, attempts, at_kill = {}, {}, {}, {}
+        elif workers <= 1:
+            done, failures, attempts, at_kill = _run_jobs_serial(
+                jobs, spec.suite, progress, emit=emit, heartbeat=heartbeat)
         else:
-            kind, detail = failures[i]
-            outcomes[i] = CellOutcome(
-                index=i, id=sc.cell_id(), key=key, outcome="failed",
-                attempts=attempts.get(i, 1), error=f"{kind}: {detail}")
-        for dep in dependents.get(key, ()):  # same key -> share the result
-            dep_sc = cells[dep]
+            done, failures, attempts, at_kill = _run_jobs_parallel(
+                jobs, workers, spec.suite, timeout, progress,
+                stall_grace=stall_grace, emit=emit, heartbeat=heartbeat)
+
+        for job in jobs:
+            i, key, sc = job.index, job.key, cells[job.index]
             if i in done:
-                outcomes[dep] = CellOutcome(index=dep, id=dep_sc.cell_id(),
-                                            key=key, outcome="hit")
+                record = done[i]
+                cache.put(key, record)
+                records[i] = record
+                outcomes[i] = CellOutcome(
+                    index=i, id=sc.cell_id(), key=key, outcome="miss",
+                    attempts=attempts.get(i, 1),
+                    host_seconds=record["host_seconds"],
+                    events=record["events_executed"])
             else:
                 kind, detail = failures[i]
-                outcomes[dep] = CellOutcome(
-                    index=dep, id=dep_sc.cell_id(), key=key,
-                    outcome="failed", error=f"{kind}: {detail}")
+                outcomes[i] = CellOutcome(
+                    index=i, id=sc.cell_id(), key=key, outcome="failed",
+                    attempts=attempts.get(i, 1), error=f"{kind}: {detail}",
+                    progress=at_kill.get(i))
+            for dep in dependents.get(key, ()):  # same key -> share the result
+                dep_sc = cells[dep]
+                if i in done:
+                    outcomes[dep] = CellOutcome(index=dep,
+                                                id=dep_sc.cell_id(),
+                                                key=key, outcome="hit")
+                    emit("cache-hit", cell=dep, id=dep_sc.cell_id(), key=key,
+                         data={"shared_with": i})
+                    if progress is not None:
+                        progress(dep_sc.cell_id(), "hit")
+                else:
+                    kind, detail = failures[i]
+                    outcomes[dep] = CellOutcome(
+                        index=dep, id=dep_sc.cell_id(), key=key,
+                        outcome="failed", error=f"{kind}: {detail}")
+                    emit("failed", cell=dep, id=dep_sc.cell_id(), key=key,
+                         data={"kind": kind, "detail": detail,
+                               "shared_with": i})
+                    if progress is not None:
+                        progress(dep_sc.cell_id(), "failed")
 
-    manifest = SweepManifest(
-        suite=spec.suite, workers=workers,
-        cells=[outcomes[i] for i in range(len(cells))],
-        elapsed=time.monotonic() - t0)
+        manifest = SweepManifest(
+            suite=spec.suite, workers=workers,
+            cells=[outcomes[i] for i in range(len(cells))],
+            elapsed=time.monotonic() - t0,
+            cache=cache.stats())
+        emit("sweep-end", data={"counts": manifest.counts(),
+                                "elapsed": manifest.elapsed,
+                                "simulated_events":
+                                    manifest.simulated_events()})
+    finally:
+        if owns_log and log is not None:
+            log.close()
 
     ordered = [records[i] for i in sorted(records)]
     doc: Optional[Dict[str, Any]] = None
@@ -311,7 +484,8 @@ def run_sweep(spec: GridSpec, workers: int = 1,
             },
             "records": ordered,
         }
-    return SweepResult(spec=spec, manifest=manifest, records=ordered, doc=doc)
+    return SweepResult(spec=spec, manifest=manifest, records=ordered,
+                       doc=doc, event_log=log)
 
 
 def _telemetry_schema() -> str:

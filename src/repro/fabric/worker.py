@@ -5,9 +5,19 @@ A worker process runs :func:`worker_main` over two queues: it takes
 result queue with tagged tuples::
 
     ("start", index, None,   pid)   # picked the job up (arms the timeout)
+    ("beat",  index, prog,   pid)   # in-cell progress heartbeat
     ("done",  index, record, pid)   # cell executed, record attached
     ("fail",  index, detail, pid)   # cell raised a typed error
     ("bye",   index, None,   pid)   # saw the shutdown sentinel (None job)
+
+``prog`` is ``{"events_executed": int, "virtual_seconds": float}`` —
+the engine counters of the cell being executed, sampled from a periodic
+host-side hook in the sim engine (:func:`repro.sim.engine.set_host_hook`)
+and throttled to at most one message per ``heartbeat`` host seconds.
+Heartbeats let the scheduler distinguish a *slow* cell from a *stuck*
+one and record progress-at-kill when a timeout fires; they read counters
+only and never touch virtual time, so results stay bit-identical with
+heartbeats on or off.
 
 The scheduler (:mod:`repro.fabric.scheduler`) owns retries, timeouts,
 and crash recovery; the worker itself is deliberately dumb. Anything a
@@ -23,19 +33,26 @@ a cell's virtual-time result cannot depend on where it ran.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.fabric.gridspec import Scenario
 
-__all__ = ["Job", "CellFailed", "execute_cell", "worker_main",
-           "CRASH_FLAG_ENV"]
+__all__ = ["Job", "CellFailed", "execute_cell", "install_heartbeat",
+           "worker_main", "CRASH_FLAG_ENV", "HOOK_EVERY_EVENTS"]
 
 #: Test hook: when set to a path, a worker hard-exits (os._exit) before
 #: executing its next cell unless the flag file already exists — the file
 #: is created first, so exactly one crash happens and the retry succeeds.
 #: This exercises the real crash-recovery path deterministically.
 CRASH_FLAG_ENV = "REPRO_FABRIC_CRASH_FLAG"
+
+#: The engine host hook fires every this-many dispatched events; the
+#: heartbeat interval (host seconds) then throttles actual messages.
+#: Small enough to bound heartbeat latency on slow cells, large enough
+#: to keep the per-event cost of an armed hook unmeasurable.
+HOOK_EVERY_EVENTS = 2048
 
 
 @dataclass(frozen=True)
@@ -87,6 +104,30 @@ def execute_cell(scenario: Scenario, suite: str = "sweep") -> Dict[str, Any]:
     return record
 
 
+def install_heartbeat(emit: Callable[[int, float], None],
+                      interval: float) -> None:
+    """Arm the process-wide engine hook behind worker/serial heartbeats.
+
+    ``emit(events_executed, virtual_seconds)`` is called from the engine
+    dispatch loop, at most once per ``interval`` host seconds, for every
+    engine built in this process afterwards. Pair with
+    :func:`repro.sim.engine.clear_host_hook` in a ``finally``.
+    """
+    from repro.sim.engine import set_host_hook
+
+    if interval <= 0:
+        raise ValueError(f"heartbeat interval must be > 0, got {interval}")
+    last = [0.0]
+
+    def hook(engine: Any) -> None:
+        now = time.monotonic()
+        if now - last[0] >= interval:
+            last[0] = now
+            emit(engine.events_executed, engine.now)
+
+    set_host_hook(hook, every_events=HOOK_EVERY_EVENTS)
+
+
 def _maybe_crash_for_test() -> None:
     flag = os.environ.get(CRASH_FLAG_ENV)
     if flag and not os.path.exists(flag):
@@ -95,19 +136,37 @@ def _maybe_crash_for_test() -> None:
         os._exit(43)  # simulate a hard worker death, bypassing cleanup
 
 
-def worker_main(job_q: Any, result_q: Any, suite: str = "sweep") -> None:
-    """Worker process entry point: drain jobs until the None sentinel."""
+def worker_main(job_q: Any, result_q: Any, suite: str = "sweep",
+                heartbeat: Optional[float] = None) -> None:
+    """Worker process entry point: drain jobs until the None sentinel.
+
+    With ``heartbeat`` set, a periodic engine hook reports the running
+    cell's progress as ``("beat", index, prog, pid)`` messages at most
+    every ``heartbeat`` host seconds.
+    """
     pid = os.getpid()
+    current: Dict[str, int] = {"index": -1}
+    if heartbeat is not None:
+        def emit(events: int, virtual: float) -> None:
+            if current["index"] >= 0:
+                result_q.put(("beat", current["index"],
+                              {"events_executed": int(events),
+                               "virtual_seconds": float(virtual)}, pid))
+
+        install_heartbeat(emit, heartbeat)
     while True:
         job = job_q.get()
         if job is None:
             result_q.put(("bye", -1, None, pid))
             return
         result_q.put(("start", job.index, None, pid))
+        current["index"] = job.index
         _maybe_crash_for_test()
         try:
             record = execute_cell(job.scenario, suite=suite)
+            current["index"] = -1
             result_q.put(("done", job.index, record, pid))
         except Exception as exc:  # noqa: BLE001 — typed failure, not death
+            current["index"] = -1
             result_q.put(("fail", job.index,
                           f"{type(exc).__name__}: {exc}", pid))

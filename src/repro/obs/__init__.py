@@ -18,6 +18,11 @@ needs on top of them:
   compute/protocol/wire/blocked categories.
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loads in Perfetto
   or ``chrome://tracing``) and a lightweight schema validator for CI.
+* :mod:`repro.obs.fleet` — the same discipline one level up: a
+  :class:`~repro.obs.fleet.FleetReport` rolls a sweep's structured event
+  log (:mod:`repro.fabric.events`) into per-worker utilization, fleet
+  throughput, ETA, and a one-track-per-worker Chrome trace, powering
+  ``python -m repro sweep watch``.
 
 Everything is **off by default and costs zero when disabled**: the engine
 carries a shared :data:`~repro.obs.spans.NULL_OBS` sentinel whose every
@@ -31,6 +36,8 @@ from repro.obs.critical_path import (CriticalPathReport, RankBreakdown,
                                      critical_path_report)
 from repro.obs.export import (chrome_trace, chrome_trace_json,
                               validate_chrome_trace)
+from repro.obs.fleet import (FleetReport, WorkerStats,
+                             fleet_report_from_path)
 from repro.obs.metrics import MetricPoint, MetricsSampler
 from repro.obs.spans import NULL_OBS, NullObserver, ObsRecorder, Span
 
@@ -49,4 +56,7 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "validate_chrome_trace",
+    "FleetReport",
+    "WorkerStats",
+    "fleet_report_from_path",
 ]

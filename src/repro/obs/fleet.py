@@ -1,0 +1,473 @@
+"""Fleet observability: roll one sweep's event log up into fleet metrics.
+
+The simulator made single runs observable (spans, metrics, critical
+path); this module does the same for the *fleet* — the worker pool a
+sweep (:mod:`repro.fabric.scheduler`) runs over. A :class:`FleetReport`
+is built from the structured event log (:mod:`repro.fabric.events`),
+optionally joined with the sweep manifest and per-cell telemetry
+records, and answers the questions the orchestrator alone cannot:
+
+* per-worker: cells completed/failed, busy vs. idle host seconds
+  (**utilization**), engine events executed and events/sec, current
+  state (idle / running cell N / killed / dead);
+* fleet-wide: cache hit ratio, aggregate events/sec, retry and kill
+  counts, ETA from per-cell duration history, critical-path category
+  totals summed over the joined telemetry records;
+* exports: JSON (:meth:`FleetReport.to_dict`), a Prometheus-style text
+  exposition (:meth:`FleetReport.to_prometheus`), a sweep-level Chrome
+  trace with **one track per worker**
+  (:meth:`FleetReport.chrome_trace` — validated by
+  :func:`repro.obs.export.validate_chrome_trace`), and the live console
+  rendering behind ``python -m repro sweep watch``
+  (:meth:`FleetReport.render`).
+
+The report is a pure function of the log: it works identically on a
+finished sweep's file and on a half-written one being tailed live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["WorkerStats", "FleetReport", "fleet_report_from_path"]
+
+_US = 1e6  # seconds -> microseconds (Chrome trace unit)
+
+
+@dataclass
+class WorkerStats:
+    """One worker's share of the sweep, derived from its events."""
+
+    worker: int
+    pid: Optional[int] = None
+    #: cells this worker finished / failed (typed in-cell errors)
+    done: int = 0
+    failed: int = 0
+    #: host seconds spent inside cells (started -> done/failed/kill)
+    busy_seconds: float = 0.0
+    #: engine events executed across this worker's finished cells, plus
+    #: the last heartbeat of a cell that died on it
+    events_executed: int = 0
+    #: "idle" | "running <cell id>" | "killed" | "dead" | "exited"
+    state: str = "idle"
+    #: grid index of the cell currently running (live sweeps), else None
+    running_cell: Optional[int] = None
+    #: last heartbeat payload seen for the running cell
+    last_beat: Optional[Dict[str, Any]] = None
+    #: host timestamp the current cell started at (for live busy time)
+    _started_at: Optional[float] = None
+    #: completed (start, end, cell, id, ok) slices for the Chrome trace
+    slices: List[Tuple[float, float, int, str, bool]] = field(
+        default_factory=list)
+
+    def events_per_sec(self) -> float:
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.busy_seconds
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / elapsed)
+
+
+class FleetReport:
+    """Aggregated view of one sweep's fleet, live or finished."""
+
+    def __init__(self, header: Dict[str, Any],
+                 events: List[Dict[str, Any]],
+                 manifest: Optional[Dict[str, Any]] = None,
+                 records: Optional[List[Dict[str, Any]]] = None) -> None:
+        self.header = header
+        self.events = events
+        self.manifest = manifest
+        self.records = records or []
+        self.suite = header.get("suite", "sweep")
+        self.total_cells = int(header.get("cells", 0))
+        self.workers: Dict[int, WorkerStats] = {}
+        self.counts: Dict[str, int] = {
+            "enqueued": 0, "cache-hit": 0, "dispatched": 0, "started": 0,
+            "heartbeat": 0, "done": 0, "failed": 0, "retried": 0}
+        self.kills = 0
+        self.deaths = 0
+        self.respawns = 0
+        self.finished = False
+        self.elapsed = 0.0
+        #: host-second durations of completed cells (ETA history)
+        self.cell_durations: List[float] = []
+        self._replay()
+
+    # ----------------------------------------------------------- replay
+    def _worker(self, wid: Optional[int]) -> Optional[WorkerStats]:
+        if wid is None:
+            return None
+        if wid not in self.workers:
+            self.workers[wid] = WorkerStats(worker=wid)
+        return self.workers[wid]
+
+    def _replay(self) -> None:
+        for ev in self.events:
+            kind = ev.get("kind")
+            t = float(ev.get("t", 0.0))
+            self.elapsed = max(self.elapsed, t)
+            data = ev.get("data") or {}
+            wid = ev.get("worker")
+            if kind in self.counts:
+                self.counts[kind] += 1
+            if kind == "sweep-end":
+                self.finished = True
+            elif kind in ("worker-spawn", "worker-respawn"):
+                ws = self._worker(wid)
+                ws.pid = data.get("pid")
+                if kind == "worker-respawn":
+                    self.respawns += 1
+            elif kind == "started":
+                ws = self._worker(wid)
+                if ws is not None:
+                    ws.state = f"running {ev.get('id', ev.get('cell'))}"
+                    ws.running_cell = ev.get("cell")
+                    ws._started_at = t
+                    ws.last_beat = None
+            elif kind == "heartbeat":
+                ws = self._worker(wid)
+                if ws is not None:
+                    ws.last_beat = data
+            elif kind in ("done", "failed"):
+                ws = self._worker(wid)
+                if ws is not None and ws._started_at is not None:
+                    duration = max(0.0, t - ws._started_at)
+                    ws.busy_seconds += duration
+                    ws.slices.append((ws._started_at, t,
+                                      int(ev.get("cell", -1)),
+                                      str(ev.get("id", "?")),
+                                      kind == "done"))
+                    if kind == "done":
+                        self.cell_durations.append(duration)
+                    ws._started_at = None
+                if ws is not None:
+                    if kind == "done":
+                        ws.done += 1
+                        ws.events_executed += int(
+                            data.get("events_executed", 0))
+                    else:
+                        ws.failed += 1
+                    ws.state = "idle"
+                    ws.running_cell = None
+                    ws.last_beat = None
+            elif kind == "worker-kill":
+                ws = self._worker(wid)
+                self.kills += 1
+                if ws is not None:
+                    prog = data.get("progress") or {}
+                    ws.events_executed += int(prog.get("events_executed", 0))
+                    if ws._started_at is not None:
+                        ws.busy_seconds += max(0.0, t - ws._started_at)
+                        ws.slices.append((ws._started_at, t,
+                                          int(ev.get("cell", -1)),
+                                          str(ev.get("id", "killed")),
+                                          False))
+                        ws._started_at = None
+                    ws.state = "killed"
+                    ws.running_cell = None
+            elif kind == "worker-death":
+                ws = self._worker(wid)
+                self.deaths += 1
+                if ws is not None:
+                    if ws._started_at is not None:
+                        ws.busy_seconds += max(0.0, t - ws._started_at)
+                        ws._started_at = None
+                    ws.state = "dead"
+            elif kind == "worker-exit":
+                ws = self._worker(wid)
+                if ws is not None and ws.state in ("idle", "running"):
+                    ws.state = "exited"
+        # Live sweeps: a cell still running contributes its elapsed time
+        # and last heartbeat to the worker's busy/event totals.
+        for ws in self.workers.values():
+            if ws._started_at is not None:
+                ws.busy_seconds += max(0.0, self.elapsed - ws._started_at)
+                if ws.last_beat:
+                    ws.events_executed += int(
+                        ws.last_beat.get("events_executed", 0))
+
+    # ---------------------------------------------------------- queries
+    def resolved_cells(self) -> int:
+        """Cells with a final outcome so far (hit, executed, or failed)."""
+        return (self.counts["cache-hit"] + self.counts["done"]
+                + self.counts["failed"])
+
+    def remaining_cells(self) -> int:
+        return max(0, self.total_cells - self.resolved_cells())
+
+    def cache_hit_ratio(self) -> float:
+        resolved = self.resolved_cells()
+        if resolved == 0:
+            return 0.0
+        return self.counts["cache-hit"] / resolved
+
+    def total_events(self) -> int:
+        return sum(ws.events_executed for ws in self.workers.values())
+
+    def aggregate_events_per_sec(self) -> float:
+        """Fleet throughput: engine events summed over workers per wall
+        second of the sweep so far."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.total_events() / self.elapsed
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated host seconds to finish, from per-cell history.
+
+        ``None`` when nothing has completed yet (no history to project
+        from); ``0.0`` once the sweep is finished or nothing remains.
+        """
+        remaining = self.remaining_cells()
+        if self.finished or remaining == 0:
+            return 0.0
+        if not self.cell_durations:
+            return None
+        mean = sum(self.cell_durations) / len(self.cell_durations)
+        active = sum(1 for ws in self.workers.values()
+                     if ws.state not in ("dead", "exited")) or 1
+        return mean * remaining / active
+
+    def critical_path_totals(self) -> Dict[str, float]:
+        """Category totals summed over the joined telemetry records."""
+        from repro.bench.telemetry import CP_CATEGORIES
+
+        totals = {cat: 0.0 for cat in CP_CATEGORIES}
+        for rec in self.records:
+            for cat, val in rec.get("critical_path", {}).items():
+                totals[cat] = totals.get(cat, 0.0) + float(val)
+        return totals
+
+    # ---------------------------------------------------------- exports
+    def to_dict(self) -> Dict[str, Any]:
+        per_worker = {}
+        for wid in sorted(self.workers):
+            ws = self.workers[wid]
+            per_worker[str(wid)] = {
+                "pid": ws.pid, "done": ws.done, "failed": ws.failed,
+                "busy_seconds": round(ws.busy_seconds, 6),
+                "utilization": round(ws.utilization(self.elapsed), 4),
+                "events_executed": ws.events_executed,
+                "events_per_sec": round(ws.events_per_sec(), 1),
+                "state": ws.state,
+            }
+        d: Dict[str, Any] = {
+            "schema": "repro.obs.fleet/1",
+            "suite": self.suite,
+            "finished": self.finished,
+            "elapsed_seconds": round(self.elapsed, 6),
+            "cells": {
+                "total": self.total_cells,
+                "resolved": self.resolved_cells(),
+                "remaining": self.remaining_cells(),
+                "cache_hits": self.counts["cache-hit"],
+                "executed": self.counts["done"],
+                "failed": self.counts["failed"],
+                "retried": self.counts["retried"],
+            },
+            "cache_hit_ratio": round(self.cache_hit_ratio(), 4),
+            "workers": per_worker,
+            "worker_kills": self.kills,
+            "worker_deaths": self.deaths,
+            "worker_respawns": self.respawns,
+            "total_engine_events": self.total_events(),
+            "aggregate_events_per_sec":
+                round(self.aggregate_events_per_sec(), 1),
+            "eta_seconds": self.eta_seconds(),
+        }
+        if self.records:
+            d["critical_path_totals"] = {
+                cat: round(val, 9)
+                for cat, val in self.critical_path_totals().items()}
+        if self.manifest is not None and self.manifest.get("cache"):
+            d["cache"] = self.manifest["cache"]
+        return d
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the fleet metrics.
+
+        Gauge/counter lines with a ``suite`` label (plus ``worker`` /
+        ``outcome`` / ``category`` where it applies) — scrapeable as a
+        textfile-collector drop or diffable as a CI artifact.
+        """
+        suite = self.suite.replace('"', "'")
+        lines: List[str] = []
+
+        def metric(name: str, help_text: str, kind: str,
+                   samples: List[Tuple[str, float]]) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                sep = "," if labels else ""
+                lines.append(
+                    f'{name}{{suite="{suite}"{sep}{labels}}} {value:g}')
+
+        metric("repro_sweep_cells", "Grid cells by outcome so far.",
+               "gauge",
+               [('outcome="cache-hit"', self.counts["cache-hit"]),
+                ('outcome="executed"', self.counts["done"]),
+                ('outcome="failed"', self.counts["failed"]),
+                ('outcome="remaining"', self.remaining_cells())])
+        metric("repro_sweep_cache_hit_ratio",
+               "Fraction of resolved cells served from the result cache.",
+               "gauge", [("", self.cache_hit_ratio())])
+        metric("repro_sweep_retries_total",
+               "Jobs re-queued after a worker death or timeout.",
+               "counter", [("", self.counts["retried"])])
+        metric("repro_sweep_worker_kills_total",
+               "Workers killed by the per-cell timeout.",
+               "counter", [("", self.kills)])
+        metric("repro_sweep_worker_deaths_total",
+               "Workers that died unexpectedly.",
+               "counter", [("", self.deaths)])
+        metric("repro_sweep_elapsed_seconds",
+               "Host seconds since the sweep began.",
+               "gauge", [("", self.elapsed)])
+        metric("repro_sweep_engine_events_total",
+               "Engine events executed across the fleet.",
+               "counter", [("", self.total_events())])
+        metric("repro_sweep_events_per_second",
+               "Aggregate fleet throughput in engine events per second.",
+               "gauge", [("", self.aggregate_events_per_sec())])
+        eta = self.eta_seconds()
+        if eta is not None:
+            metric("repro_sweep_eta_seconds",
+                   "Estimated host seconds until the sweep finishes.",
+                   "gauge", [("", eta)])
+        metric("repro_sweep_worker_utilization",
+               "Busy fraction of each worker's wall time.", "gauge",
+               [(f'worker="{wid}"', ws.utilization(self.elapsed))
+                for wid, ws in sorted(self.workers.items())])
+        metric("repro_sweep_worker_events_per_second",
+               "Per-worker engine event throughput while busy.", "gauge",
+               [(f'worker="{wid}"', ws.events_per_sec())
+                for wid, ws in sorted(self.workers.items())])
+        if self.records:
+            metric("repro_sweep_critical_path_seconds",
+                   "Critical-path seconds by category over all records.",
+                   "gauge",
+                   [(f'category="{cat}"', val) for cat, val
+                    in sorted(self.critical_path_totals().items())])
+        return "\n".join(lines) + "\n"
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Sweep-level Chrome trace: one track (pid) per worker.
+
+        Each cell execution is a complete slice on its worker's track;
+        heartbeats become counter events of in-cell engine events. The
+        document passes :func:`repro.obs.export.validate_chrome_trace`
+        and loads in Perfetto next to the per-run traces.
+        """
+        events: List[Dict[str, Any]] = []
+        for wid in sorted(self.workers):
+            ws = self.workers[wid]
+            for begin, end, cell, cell_id, ok in ws.slices:
+                events.append({
+                    "name": cell_id,
+                    "cat": "cell" if ok else "cell-failed",
+                    "ph": "X",
+                    "ts": begin * _US,
+                    "dur": max(end - begin, 0.0) * _US,
+                    "pid": wid, "tid": 0,
+                    "args": {"cell": cell, "ok": ok},
+                })
+            if ws._started_at is not None:  # live: still-running slice
+                events.append({
+                    "name": ws.state, "cat": "cell", "ph": "X",
+                    "ts": ws._started_at * _US,
+                    "dur": max(self.elapsed - ws._started_at, 0.0) * _US,
+                    "pid": wid, "tid": 0, "args": {"live": True},
+                })
+            events.append({
+                "name": "process_name", "ph": "M", "ts": 0.0,
+                "pid": wid, "tid": 0, "args": {"name": f"worker {wid}"},
+            })
+        for ev in self.events:
+            if ev.get("kind") == "heartbeat" and ev.get("worker") is not None:
+                data = ev.get("data") or {}
+                events.append({
+                    "name": "cell.events_executed", "cat": "metric",
+                    "ph": "C", "ts": float(ev.get("t", 0.0)) * _US,
+                    "pid": int(ev["worker"]), "tid": 0,
+                    "args": {"value": data.get("events_executed", 0)},
+                })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"suite": self.suite,
+                          "elapsed_host_seconds": self.elapsed,
+                          "workers": len(self.workers)},
+        }
+
+    # ----------------------------------------------------------- render
+    def render(self) -> str:
+        """The ``sweep watch`` console: per-worker status + fleet totals."""
+        from repro.bench.report import render_table
+
+        state = "finished" if self.finished else "running"
+        title = (f"sweep {self.suite!r} [{state}] — "
+                 f"{self.resolved_cells()}/{self.total_cells or '?'} cells "
+                 f"({self.counts['cache-hit']} hit / "
+                 f"{self.counts['done']} executed / "
+                 f"{self.counts['failed']} failed), "
+                 f"{self.counts['retried']} retried — "
+                 f"{self.elapsed:.1f}s elapsed")
+        rows = []
+        for wid in sorted(self.workers):
+            ws = self.workers[wid]
+            beat = ""
+            if ws.last_beat:
+                beat = (f"{ws.last_beat.get('events_executed', 0)} ev / "
+                        f"{ws.last_beat.get('virtual_seconds', 0.0):.3f}s")
+            rows.append([
+                f"w{wid}", ws.state, ws.done, ws.failed,
+                f"{100.0 * ws.utilization(self.elapsed):.0f}%",
+                f"{ws.events_per_sec():,.0f}", beat])
+        table = render_table(
+            ["worker", "state", "done", "failed", "util", "events/s",
+             "last beat"],
+            rows, title=title)
+        eta = self.eta_seconds()
+        eta_text = ("done" if eta == 0.0
+                    else "n/a" if eta is None else f"{eta:.1f}s")
+        footer = (f"cache hit ratio: {100.0 * self.cache_hit_ratio():.0f}%  "
+                  f"aggregate: {self.aggregate_events_per_sec():,.0f} "
+                  f"events/s  kills: {self.kills}  deaths: {self.deaths}  "
+                  f"ETA: {eta_text}")
+        return table + "\n" + footer
+
+
+def fleet_report_from_path(events_path: str,
+                           manifest_path: Optional[str] = None,
+                           telemetry_path: Optional[str] = None
+                           ) -> FleetReport:
+    """Build a :class:`FleetReport` from files on disk.
+
+    ``manifest_path`` joins in the sweep manifest (cache stats);
+    ``telemetry_path`` joins in the telemetry document (critical-path
+    totals). Both are optional — the event log alone is enough.
+    """
+    import json
+
+    from repro.fabric.events import read_events
+
+    header, events = read_events(events_path)
+    manifest = None
+    if manifest_path is not None:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    records = None
+    if telemetry_path is not None:
+        from repro.bench.telemetry import load_telemetry
+
+        records = load_telemetry(telemetry_path).get("records")
+    return FleetReport(header, events, manifest=manifest, records=records)

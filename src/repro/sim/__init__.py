@@ -15,13 +15,15 @@ Public surface:
 * :mod:`~repro.sim.trace` — structured event tracing.
 """
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, clear_host_hook, set_host_hook
 from repro.sim.process import SimProcess
 from repro.sim.resources import SimBarrier, SimCondition, SimLock, SimQueue, SimSemaphore
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
     "Engine",
+    "set_host_hook",
+    "clear_host_hook",
     "SimProcess",
     "SimLock",
     "SimSemaphore",

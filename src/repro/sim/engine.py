@@ -32,13 +32,43 @@ from __future__ import annotations
 
 import os
 import time as _time
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.obs.spans import NULL_OBS
 from repro.sim.eventq import make_queue
 from repro.sim.process import SimProcess
 from repro.sim.trace import Tracer
+
+#: Process-wide default host hook, applied to every Engine built after
+#: :func:`set_host_hook`. Sweep worker processes use it to attach progress
+#: heartbeats to engines constructed deep inside ``config.build()``.
+_DEFAULT_HOST_HOOK: Optional[Tuple[Callable[["Engine"], None], int]] = None
+
+
+def set_host_hook(callback: Optional[Callable[["Engine"], None]],
+                  every_events: int = 4096) -> None:
+    """Install (or, with ``None``, clear) the process-wide host hook.
+
+    Every engine constructed afterwards invokes ``callback(engine)`` from
+    the dispatch loop once per ``every_events`` dispatched events. The hook
+    runs on the host side only: it may read counters (``events_executed``,
+    ``now``) and talk to host-side channels, but it must not schedule
+    events or charge virtual time — virtual results stay bit-identical
+    whether or not a hook is armed.
+    """
+    global _DEFAULT_HOST_HOOK
+    if callback is None:
+        _DEFAULT_HOST_HOOK = None
+        return
+    if every_events < 1:
+        raise ValueError(f"every_events must be >= 1, got {every_events}")
+    _DEFAULT_HOST_HOOK = (callback, every_events)
+
+
+def clear_host_hook() -> None:
+    """Remove the process-wide host hook (idempotent)."""
+    set_host_hook(None)
 
 
 class Engine:
@@ -89,6 +119,14 @@ class Engine:
         # Plain counters — they never influence virtual time.
         self.events_executed: int = 0
         self.host_seconds: float = 0.0
+        # Host-side progress hook (fleet heartbeats): called every
+        # _hook_every dispatched events when armed; 0 = disarmed (the
+        # common case — one falsy check per event in _advance).
+        self._host_hook: Optional[Callable[["Engine"], None]] = None
+        self._hook_every: int = 0
+        self._hook_next: int = 0
+        if _DEFAULT_HOST_HOOK is not None:
+            self.set_host_hook(*_DEFAULT_HOST_HOOK)
         # Exception raised inside a process thread, re-raised from run().
         self._pending_exc: Optional[BaseException] = None
 
@@ -176,6 +214,8 @@ class Engine:
                 return self._stop(origin, "until")
             self._now = when
             self.events_executed += 1
+            if self._hook_every and self.events_executed >= self._hook_next:
+                self._fire_host_hook()
             if isinstance(action, SimProcess):
                 if not action.alive:
                     continue  # stale resume for a finished process
@@ -247,6 +287,32 @@ class Engine:
         return proc.result
 
     # ----------------------------------------------------------------- hooks
+    def set_host_hook(self, callback: Optional[Callable[["Engine"], None]],
+                      every_events: int = 4096) -> None:
+        """Arm (or, with ``None``, disarm) this engine's host hook.
+
+        ``callback(self)`` fires from the dispatch loop once per
+        ``every_events`` dispatched events, on whichever host thread is
+        dispatching. It must stay host-side: reading ``events_executed`` /
+        ``now`` and writing to host channels is fine; scheduling events or
+        charging virtual time is not.
+        """
+        if callback is None:
+            self._host_hook, self._hook_every = None, 0
+            return
+        if every_events < 1:
+            raise ValueError(f"every_events must be >= 1, got {every_events}")
+        self._host_hook = callback
+        self._hook_every = every_events
+        self._hook_next = self.events_executed + every_events
+
+    def _fire_host_hook(self) -> None:
+        self._hook_next = self.events_executed + self._hook_every
+        try:
+            self._host_hook(self)
+        except Exception:  # noqa: BLE001 — observability must never kill a run
+            self._host_hook, self._hook_every = None, 0
+
     def _set_current(self, process) -> None:
         self._current = process
 

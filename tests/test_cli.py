@@ -304,3 +304,85 @@ class TestSweepCommands:
 
         with pytest.raises(ConfigurationError):
             main(["sweep", "run", "--grid", str(bad)])
+
+    def test_sweep_expect_cached_names_offending_cells(self, tmp_path,
+                                                       capsys):
+        grid = self._grid(tmp_path)
+        assert main(["sweep", "run", "--grid", grid,
+                     "--cache-dir", str(tmp_path / "cold"),
+                     "--expect-cached"]) == 3
+        out = capsys.readouterr().out
+        assert "expect-cached:   miss: smp-2/PI@0.04" in out
+        assert "expect-cached:   miss: sw-dsm-2/PI@0.04" in out
+
+
+class TestFleetCommands:
+    def _swept(self, tmp_path, workers="2"):
+        import json
+
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "presets": ["smp-2", "sw-dsm-2"], "labels": ["PI"],
+            "scales": [0.04], "suite": "fleet-cli"}), encoding="utf-8")
+        events = str(tmp_path / "events.jsonl")
+        manifest = str(tmp_path / "manifest.json")
+        telemetry = str(tmp_path / "sweep.json")
+        assert main(["sweep", "run", "--grid", str(grid),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--workers", workers, "--heartbeat", "0.02",
+                     "--events", events, "--manifest", manifest,
+                     "--json-out", telemetry]) == 0
+        return events, manifest, telemetry
+
+    def test_sweep_run_writes_a_valid_event_log(self, tmp_path, capsys):
+        from repro.fabric import validate_events
+
+        events, _, _ = self._swept(tmp_path)
+        assert "events   : written to" in capsys.readouterr().out
+        assert validate_events(events) == []
+
+    def test_sweep_watch_once_renders_the_fleet(self, tmp_path, capsys):
+        events, _, _ = self._swept(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "watch", "--events", events, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "w0" in out                      # per-worker status rows
+        assert "cache hit ratio:" in out
+        assert "events/s" in out
+        assert "ETA:" in out
+
+    def test_sweep_watch_rejects_a_broken_log(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "nope/9"}\n', encoding="utf-8")
+        assert main(["sweep", "watch", "--events", str(bad),
+                     "--once"]) == 2
+        assert "event log error" in capsys.readouterr().out
+
+    def test_sweep_report_exports_all_three_forms(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        events, manifest, telemetry = self._swept(tmp_path)
+        capsys.readouterr()
+        fleet = str(tmp_path / "fleet.json")
+        prom = str(tmp_path / "fleet.prom")
+        trace = str(tmp_path / "fleet.trace")
+        assert main(["sweep", "report", "--events", events,
+                     "--manifest", manifest, "--telemetry", telemetry,
+                     "--json-out", fleet, "--prom-out", prom,
+                     "--trace-out", trace]) == 0
+        capsys.readouterr()
+        doc = json.loads(open(fleet, encoding="utf-8").read())
+        assert doc["schema"] == "repro.obs.fleet/1"
+        assert doc["cells"]["total"] == 2
+        assert "critical_path_totals" in doc and "cache" in doc
+        assert "repro_sweep_cells{" in open(prom, encoding="utf-8").read()
+        assert validate_chrome_trace(
+            open(trace, encoding="utf-8").read()) == []
+
+    def test_sweep_report_defaults_to_json_on_stdout(self, tmp_path, capsys):
+        events, _, _ = self._swept(tmp_path, workers="1")
+        capsys.readouterr()
+        assert main(["sweep", "report", "--events", events]) == 0
+        assert '"schema": "repro.obs.fleet/1"' in capsys.readouterr().out
