@@ -80,7 +80,7 @@ def main():
         third = run_sweep(swept, cache=cache)
         show(third)
         counts = third.manifest.counts()
-        assert counts == {"hit": 6, "miss": 6, "failed": 0}, counts
+        assert counts == {"hit": 6, "miss": 6, "failed": 0, "pending": 0}, counts
         print("baseline cells hit, overridden cells executed fresh.")
         print("\nsweep tour complete.")
     finally:

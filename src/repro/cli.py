@@ -31,17 +31,23 @@ Commands:
 
 * ``sweep`` — the parallel experiment fabric (:mod:`repro.fabric`): run a
   declarative grid over N worker processes with a content-addressed result
-  cache, inspect a grid against the cache, render a stored manifest, watch
-  a live fleet, or export fleet metrics::
+  cache and a durable write-ahead journal, resume an interrupted sweep,
+  verify cache integrity, inspect a grid against the cache, render a
+  stored manifest, watch a live fleet, or export fleet metrics::
 
-      python -m repro sweep run --grid grid.json --workers 4 \\
-          --json-out SWEEP.json --manifest sweep-manifest.json \\
-          --events events.jsonl
+      python -m repro sweep run --grid grid.json --workers 4 --dir sweepdir
+      python -m repro sweep resume sweepdir
+      python -m repro sweep fsck --cache-dir .fabric-cache --repair
       python -m repro sweep show --grid grid.json
+      python -m repro sweep status --dir sweepdir
       python -m repro sweep status --manifest sweep-manifest.json
-      python -m repro sweep watch --events events.jsonl --once
-      python -m repro sweep report --events events.jsonl \\
+      python -m repro sweep watch --events sweepdir/events.jsonl --once
+      python -m repro sweep report --events sweepdir/events.jsonl \\
           --json-out fleet.json --prom-out fleet.prom --trace-out fleet.trace
+
+  Exit codes: 0 ok, 1 failed cells, 2 schema/log errors, 3 failed
+  ``--expect-cached``, 4 aborted (``--max-failures`` tripped), 5
+  interrupted (graceful SIGINT/SIGTERM drain; resume picks up the rest).
 
 * ``platforms`` — list the named platform presets.
 * ``apps`` — list the benchmark applications and their paper working sets.
@@ -58,6 +64,7 @@ only-the-config-changes workflow from the shell.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -287,10 +294,27 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="parallel experiment fabric: cached grid sweeps")
     ssub = sweep.add_subparsers(dest="sweep_command", required=True)
 
+    def _failure_policy_args(p) -> None:
+        p.add_argument("--max-retries", type=int, default=1, metavar="N",
+                       help="re-queue a crashed/timed-out job this many "
+                            "times before recording it failed (default: 1)")
+        p.add_argument("--max-failures", type=int, default=None, metavar="N",
+                       help="abort the sweep (drain, exit 4) after N "
+                            "terminally failed cells (default: no budget)")
+        p.add_argument("--retry-backoff", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="base delay before a retry, doubling per "
+                            "attempt (default: 0.5; 0 disables)")
+
     srun = ssub.add_parser("run", help="run a grid over worker processes")
     srun.add_argument("--grid", required=True, metavar="FILE",
                       help="grid spec JSON (axes: presets, labels, scales, "
                            "nodes, overrides, faults)")
+    srun.add_argument("--dir", dest="sweep_dir", metavar="DIR",
+                      help="sweep directory: journal, event log, manifest, "
+                           "telemetry, and a copy of the grid all default "
+                           "to files inside it ('sweep resume DIR' and "
+                           "'sweep status --dir DIR' consume it)")
     srun.add_argument("--workers", type=int, default=1, metavar="N",
                       help="worker processes (1 = inline serial reference "
                            "path)")
@@ -308,14 +332,49 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--events", metavar="FILE",
                       help="write the structured event log (JSONL; 'sweep "
                            "watch' and 'sweep report' consume it)")
+    srun.add_argument("--journal", metavar="FILE",
+                      help="write the durable write-ahead journal "
+                           "('sweep resume' restarts from it after a crash)")
     srun.add_argument("--heartbeat", type=float, default=None,
                       metavar="SECONDS",
                       help="worker heartbeat interval (default: 1.0; "
                            "heartbeats surface in-cell progress and "
                            "progress-at-kill for timed-out cells)")
+    _failure_policy_args(srun)
     srun.add_argument("--expect-cached", action="store_true",
                       help="exit 3 unless the sweep was 100%% cache hits "
                            "with zero simulated events (CI's rerun gate)")
+
+    sres = ssub.add_parser(
+        "resume", help="resume an interrupted sweep from its journal")
+    sres.add_argument("sweep_dir", metavar="DIR",
+                      help="sweep directory written by 'sweep run --dir' "
+                           "(or any directory holding journal.jsonl)")
+    sres.add_argument("--journal", metavar="FILE",
+                      help="journal path (default: DIR/journal.jsonl)")
+    sres.add_argument("--grid", metavar="FILE",
+                      help="grid spec (default: the grid embedded in the "
+                           "journal header)")
+    sres.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker processes (default: the journal's)")
+    sres.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="result cache (default: the journal's)")
+    sres.add_argument("--timeout", type=float, default=None,
+                      metavar="SECONDS", help="per-cell timeout override")
+    sres.add_argument("--heartbeat", type=float, default=None,
+                      metavar="SECONDS", help="worker heartbeat interval")
+    sres.add_argument("--retry-failed", action="store_true",
+                      help="also re-execute cells whose committed outcome "
+                           "was 'failed' (default: restore them as-is)")
+    _failure_policy_args(sres)
+
+    sfsck = ssub.add_parser(
+        "fsck", help="verify cache integrity; quarantine corrupt entries")
+    sfsck.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache to scan (default: .fabric-cache)")
+    sfsck.add_argument("--repair", action="store_true",
+                       help="move corrupt entries to <cache>/quarantine/ "
+                            "(default: report only, exit 1 if any found)")
 
     sshow = ssub.add_parser(
         "show", help="expand a grid and probe the cache without running")
@@ -324,9 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
     sshow.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache to probe (default: .fabric-cache)")
 
-    sstat = ssub.add_parser("status", help="render a stored sweep manifest")
-    sstat.add_argument("--manifest", required=True, metavar="FILE",
+    sstat = ssub.add_parser(
+        "status", help="render a stored manifest, or a live/interrupted "
+                       "sweep's resumability from its journal")
+    sstat.add_argument("--manifest", metavar="FILE",
                        help="manifest JSON written by 'sweep run'")
+    sstat.add_argument("--journal", metavar="FILE",
+                       help="journal to replay (lock-free: safe on a live "
+                            "sweep; reports committed/pending cells)")
+    sstat.add_argument("--dir", dest="sweep_dir", metavar="DIR",
+                       help="sweep directory (reads DIR/journal.jsonl)")
+    sstat.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache to report quarantine counts from "
+                            "(default: the journal's cache_dir)")
 
     swatch = ssub.add_parser(
         "watch", help="live fleet console over a sweep's event log")
@@ -692,8 +761,20 @@ def _sweep_report(args) -> int:
     from repro.obs.fleet import fleet_report_from_path
     from repro.tools.export import write_text
 
-    report = fleet_report_from_path(args.events, manifest_path=args.manifest,
-                                    telemetry_path=args.telemetry)
+    try:
+        report = fleet_report_from_path(args.events,
+                                        manifest_path=args.manifest,
+                                        telemetry_path=args.telemetry)
+    except (OSError, ValueError) as exc:
+        # A missing or truncated log is an operator mistake, not a
+        # crash: one line, nonzero exit, no traceback.
+        print(f"sweep report: cannot read {args.events}: {exc}")
+        return 2
+    if not any(ev.get("kind") == "sweep-begin" for ev in report.events):
+        print(f"sweep report: {args.events} has no 'sweep-begin' event — "
+              f"header-only log (the sweep never started, or this is not "
+              f"an event log)")
+        return 2
     if args.json_out:
         write_text(args.json_out, report.to_json())
         print(f"fleet json : written to {args.json_out}")
@@ -714,14 +795,188 @@ def _sweep_report(args) -> int:
     return 0
 
 
+def _sweep_status_from_journal(args) -> int:
+    """Resumability report: replay the journal, no locks, live-safe."""
+    import os as _os
+
+    from repro.fabric import JournalError, ResultCache, replay_journal
+
+    journal = args.journal or _os.path.join(args.sweep_dir, "journal.jsonl")
+    try:
+        state = replay_journal(journal)
+    except JournalError as exc:
+        print(f"sweep status: {exc}")
+        return 2
+    header = state.header
+    total = int(header.get("cells", 0))
+    counts = state.counts()
+    pending = state.pending(total)
+    print(f"sweep {header.get('suite', '?')!r} journal {journal}: "
+          f"{total} cells — {len(state.committed)} committed "
+          f"({counts.get('hit', 0)} hit / {counts.get('miss', 0)} miss / "
+          f"{counts.get('failed', 0)} failed), {len(pending)} pending")
+    status = state.status or "in flight (no terminal status recorded)"
+    print(f"status   : {status}")
+    if state.torn_bytes is not None:
+        print("journal  : torn trailing line (crash mid-write; resume "
+              "repairs it)")
+    cache_dir = args.cache_dir or header.get("cache_dir")
+    if cache_dir:
+        stats = ResultCache(cache_dir).stats()
+        quarantined = stats.get("quarantined", 0)
+        print(f"cache    : {stats.get('entries', 0)} entries in {cache_dir}"
+              + (f"; {quarantined} quarantined — run 'sweep fsck'"
+                 if quarantined else ""))
+    if pending:
+        print(f"resume   : 'sweep resume "
+              f"{args.sweep_dir or _os.path.dirname(journal) or '.'}' "
+              f"re-executes the {len(pending)} pending cell(s)")
+    return 0 if not counts.get("failed") else 1
+
+
+def _sweep_fsck(args) -> int:
+    """Cache integrity scan; quarantines corrupt entries with --repair."""
+    from repro.fabric import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    report = cache.fsck(repair=args.repair)
+    print(f"fsck {report['root']}: {report['checked']} entr(ies) checked — "
+          f"{report['ok']} ok, {report['stale']} stale (old schema), "
+          f"{len(report['corrupt'])} corrupt")
+    for item in report["corrupt"]:
+        print(f"fsck   corrupt: {item['path']} ({item['reason']})")
+    for moved in report["quarantined"]:
+        print(f"fsck   quarantined -> {moved}")
+    if report["quarantine_entries"]:
+        print(f"fsck {report['quarantine_entries']} entr(ies) in "
+              f"{cache.quarantine_dir()}")
+    if report["corrupt"] and not args.repair:
+        print("fsck: corrupt entries found (re-run with --repair to "
+              "quarantine them)")
+        return 1
+    return 0
+
+
+def _finish_sweep(result, json_out, manifest_path, events_path,
+                  expect_cached: bool = False) -> int:
+    """Shared tail of ``sweep run`` / ``sweep resume``: write the
+    outputs, name the offenders, map the sweep status to an exit code
+    (0 ok, 1 failed cells, 2 schema, 3 expect-cached, 4 aborted,
+    5 interrupted)."""
+    from repro.bench.telemetry import telemetry_to_json, validate_telemetry
+    from repro.tools.export import write_text
+
+    manifest = result.manifest
+    print()
+    print(manifest.render())
+    if result.doc is not None:
+        errors = validate_telemetry(result.doc)
+        if errors:  # a fabric bug, not a perf problem — fail loudly
+            for err in errors:
+                print(f"schema error: {err}")
+            return 2
+        if json_out:
+            write_text(json_out, telemetry_to_json(result.doc))
+            print(f"telemetry: written to {json_out}")
+    elif json_out:
+        print("telemetry: no successful cells, nothing written")
+    if manifest_path:
+        manifest.save(manifest_path)
+        print(f"manifest : written to {manifest_path}")
+    if events_path:
+        print(f"events   : written to {events_path} "
+              f"({len(result.event_log or ())} event(s))")
+    if expect_cached and not manifest.all_cached():
+        counts = manifest.counts()
+        print(f"expect-cached: FAILED — {counts['miss']} miss(es), "
+              f"{counts['failed']} failure(s), "
+              f"{manifest.simulated_events()} simulated events")
+        for cell in manifest.cells:
+            if cell.outcome != "hit":   # name the offenders
+                print(f"expect-cached:   {cell.outcome}: {cell.id} "
+                      f"({cell.key[:12]})")
+        return 3
+    if result.status == "aborted":
+        print("sweep: aborted — the --max-failures budget tripped; "
+              "'sweep resume' picks up the pending cells")
+        return 4
+    if result.status == "interrupted":
+        print("sweep: interrupted — drained cleanly; 'sweep resume' "
+              "picks up the pending cells")
+        return 5
+    return 0 if not manifest.failed_cells() else 1
+
+
+def _sweep_resume(args) -> int:
+    """``sweep resume DIR``: restore committed cells, run the rest."""
+    import os as _os
+
+    from repro.fabric import (GridSpec, JournalError, ResultCache,
+                              replay_journal, run_sweep)
+
+    journal = args.journal or _os.path.join(args.sweep_dir, "journal.jsonl")
+    try:
+        state = replay_journal(journal)
+    except JournalError as exc:
+        print(f"sweep resume: {exc}")
+        return 2
+    header = state.header
+    if args.grid:
+        spec = GridSpec.load(args.grid)
+    elif isinstance(header.get("grid"), dict):
+        spec = GridSpec.from_dict(header["grid"])
+    else:
+        print(f"sweep resume: {journal} has no embedded grid — "
+              f"pass --grid FILE")
+        return 2
+    workers = args.workers or int(header.get("workers", 1))
+    cache_dir = args.cache_dir or header.get("cache_dir")
+    if not cache_dir:
+        print(f"sweep resume: {journal} names no cache_dir — "
+              f"pass --cache-dir DIR")
+        return 2
+    total = int(header.get("cells", 0))
+    pending = state.pending(total)
+    print(f"[sweep] resuming {header.get('suite', spec.suite)!r}: "
+          f"{len(state.committed)}/{total} cells committed, "
+          f"{len(pending)} to run")
+    result = run_sweep(
+        spec, workers=workers, cache=ResultCache(cache_dir),
+        timeout=args.timeout,
+        events=_os.path.join(args.sweep_dir, "events.jsonl"),
+        heartbeat=args.heartbeat if args.heartbeat is not None else 1.0,
+        journal=journal, resume_from=state,
+        retry_failed=args.retry_failed, max_retries=args.max_retries,
+        max_failures=args.max_failures, retry_backoff=args.retry_backoff,
+        handle_signals=True,
+        progress=lambda cell, outcome: print(f"[sweep] {cell}: {outcome}"))
+    return _finish_sweep(
+        result,
+        json_out=_os.path.join(args.sweep_dir, "telemetry.json"),
+        manifest_path=_os.path.join(args.sweep_dir, "manifest.json"),
+        events_path=_os.path.join(args.sweep_dir, "events.jsonl"))
+
+
 def _cmd_sweep(args) -> int:
     from repro.fabric import (DEFAULT_CACHE_DIR, GridSpec, ResultCache,
                               SweepManifest, run_sweep, scenario_key)
 
     if args.sweep_command == "status":
+        if args.journal or args.sweep_dir:
+            return _sweep_status_from_journal(args)
+        if not args.manifest:
+            print("sweep status: pass --manifest FILE, --journal FILE, "
+                  "or --dir DIR")
+            return 2
         manifest = SweepManifest.load(args.manifest)
         print(manifest.render())
         return 0 if not manifest.failed_cells() else 1
+
+    if args.sweep_command == "fsck":
+        return _sweep_fsck(args)
+
+    if args.sweep_command == "resume":
+        return _sweep_resume(args)
 
     if args.sweep_command == "watch":
         return _sweep_watch(args)
@@ -752,48 +1007,37 @@ def _cmd_sweep(args) -> int:
         return 0
 
     if args.sweep_command == "run":
-        from repro.bench.telemetry import telemetry_to_json, validate_telemetry
-        from repro.tools.export import write_text
+        import os as _os
+        import shutil as _shutil
 
+        json_out, manifest_path = args.json_out, args.manifest
+        events_path, journal_path = args.events, args.journal
+        if args.sweep_dir:
+            # The sweep directory bundles every artifact 'sweep resume'
+            # and 'sweep status --dir' need; explicit flags still win.
+            _os.makedirs(args.sweep_dir, exist_ok=True)
+            join = lambda name: _os.path.join(args.sweep_dir, name)  # noqa: E731
+            json_out = json_out or join("telemetry.json")
+            manifest_path = manifest_path or join("manifest.json")
+            events_path = events_path or join("events.jsonl")
+            journal_path = journal_path or join("journal.jsonl")
+            if _os.path.abspath(args.grid) != _os.path.abspath(
+                    join("grid.json")):
+                _shutil.copyfile(args.grid, join("grid.json"))
         sweep_kwargs = {}
         if args.heartbeat is not None:
             sweep_kwargs["heartbeat"] = args.heartbeat
         result = run_sweep(
             spec, workers=args.workers, cache_dir=cache_dir,
-            timeout=args.timeout, events=args.events,
+            timeout=args.timeout, events=events_path, journal=journal_path,
+            max_retries=args.max_retries, max_failures=args.max_failures,
+            retry_backoff=args.retry_backoff, handle_signals=True,
             progress=lambda cell, outcome: print(f"[sweep] {cell}: {outcome}"),
             **sweep_kwargs)
-        manifest = result.manifest
-        print()
-        print(manifest.render())
-        if result.doc is not None:
-            errors = validate_telemetry(result.doc)
-            if errors:  # a fabric bug, not a perf problem — fail loudly
-                for err in errors:
-                    print(f"schema error: {err}")
-                return 2
-            if args.json_out:
-                write_text(args.json_out, telemetry_to_json(result.doc))
-                print(f"telemetry: written to {args.json_out}")
-        elif args.json_out:
-            print("telemetry: no successful cells, nothing written")
-        if args.manifest:
-            manifest.save(args.manifest)
-            print(f"manifest : written to {args.manifest}")
-        if args.events:
-            print(f"events   : written to {args.events} "
-                  f"({len(result.event_log or ())} event(s))")
-        if args.expect_cached and not manifest.all_cached():
-            counts = manifest.counts()
-            print(f"expect-cached: FAILED — {counts['miss']} miss(es), "
-                  f"{counts['failed']} failure(s), "
-                  f"{manifest.simulated_events()} simulated events")
-            for cell in manifest.cells:
-                if cell.outcome != "hit":   # name the offenders
-                    print(f"expect-cached:   {cell.outcome}: {cell.id} "
-                          f"({cell.key[:12]})")
-            return 3
-        return 0 if not manifest.failed_cells() else 1
+        return _finish_sweep(result, json_out=json_out,
+                             manifest_path=manifest_path,
+                             events_path=events_path,
+                             expect_cached=args.expect_cached)
 
     raise AssertionError(
         f"unhandled sweep command {args.sweep_command!r}")  # pragma: no cover
@@ -816,6 +1060,18 @@ def _cmd_apps() -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (sweep status | head):
+        # not an error. Detach stdout so the interpreter's shutdown
+        # flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)

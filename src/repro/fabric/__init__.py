@@ -4,11 +4,17 @@ The paper's evaluation is a grid (models × interconnects × apps × node
 counts); this package makes sweeping that grid cheap:
 
 * :mod:`repro.fabric.gridspec` — declarative grid specs and cells,
-* :mod:`repro.fabric.cache` — content-addressed result store (payloads
-  are unchanged :mod:`repro.bench.telemetry` records),
+* :mod:`repro.fabric.cache` — content-addressed result store with
+  checksummed, quarantine-on-corruption entries (payloads are unchanged
+  :mod:`repro.bench.telemetry` records),
 * :mod:`repro.fabric.worker` — the worker-process protocol,
 * :mod:`repro.fabric.scheduler` — the orchestrator (dispatch, timeouts,
-  crash recovery, typed per-cell failures),
+  crash recovery, retry budgets, graceful shutdown, typed per-cell
+  failures),
+* :mod:`repro.fabric.journal` — the durable write-ahead journal behind
+  ``sweep resume``,
+* :mod:`repro.fabric.faultpoints` — deterministic crash injection for
+  testing the recovery paths,
 * :mod:`repro.fabric.manifest` — the per-cell receipt of a sweep.
 
 Surfaced as ``python -m repro sweep`` and behind
@@ -21,8 +27,11 @@ from repro.fabric.cache import (CACHE_SCHEMA, DEFAULT_CACHE_DIR, ResultCache,
 from repro.fabric.events import (EVENT_KINDS, EVENTS_SCHEMA, EventLog,
                                  read_events, tail_events, validate_events)
 from repro.fabric.gridspec import GridSpec, Scenario
+from repro.fabric.journal import (JOURNAL_SCHEMA, JournalError, JournalState,
+                                  SweepJournal, replay_journal)
 from repro.fabric.manifest import MANIFEST_SCHEMA, CellOutcome, SweepManifest
-from repro.fabric.scheduler import DEFAULT_HEARTBEAT, SweepResult, run_sweep
+from repro.fabric.scheduler import (DEFAULT_HEARTBEAT, DEFAULT_MAX_RETRIES,
+                                    SweepResult, run_sweep)
 from repro.fabric.worker import CellFailed, Job, execute_cell
 
 __all__ = ["GridSpec", "Scenario", "ResultCache", "TelemetryCache",
@@ -31,4 +40,6 @@ __all__ = ["GridSpec", "Scenario", "ResultCache", "TelemetryCache",
            "CellOutcome", "SweepManifest", "SweepResult", "run_sweep",
            "CellFailed", "Job", "execute_cell",
            "EVENTS_SCHEMA", "EVENT_KINDS", "EventLog", "read_events",
-           "tail_events", "validate_events", "DEFAULT_HEARTBEAT"]
+           "tail_events", "validate_events", "DEFAULT_HEARTBEAT",
+           "DEFAULT_MAX_RETRIES", "JOURNAL_SCHEMA", "JournalError",
+           "JournalState", "SweepJournal", "replay_journal"]

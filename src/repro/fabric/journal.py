@@ -1,0 +1,256 @@
+"""Durable sweep journal: the write-ahead log behind ``sweep resume``.
+
+The scheduler journals every cell state transition to ``journal.jsonl``
+using the same append-one-flushed-JSONL-line machinery as the event log
+(:mod:`repro.fabric.events`), with one hardening step on top: a
+**commit record** — written when a cell reaches a final outcome and its
+result is safely in the content-addressed cache — is ``fsync``'d before
+the scheduler moves on. Kill the orchestrator at any instant (SIGKILL,
+OOM, power loss) and the journal still names exactly which cells are
+durable; ``sweep resume <dir>`` replays it, restores the committed
+outcomes, re-executes only the cells without a commit record, and
+produces canonical records byte-identical to an uninterrupted run.
+
+Line 1 is a **header** carrying everything resume needs — the grid spec
+itself, the suite, the cache directory, the worker count::
+
+    {"schema": "repro.fabric.journal/1", "suite": ..., "cells": N,
+     "workers": W, "cache_dir": ..., "grid": {...GridSpec.to_dict()...}}
+
+Every following line is one entry:
+
+* ``{"kind": "cell", "cell": i, "state": ...}`` — a WAL transition
+  (``enqueued`` / ``dispatched`` / ``started`` / ``retried``), flushed
+  but not fsync'd: losing the tail costs nothing but narration;
+* ``{"kind": "commit", "cell": i, "outcome": {...CellOutcome...}}`` —
+  flushed **and fsync'd**; the cell's result is durable from here on;
+* ``{"kind": "status", "status": "complete" | "interrupted" |
+  "aborted"}`` — the sweep's terminal state, fsync'd.
+
+:func:`replay_journal` is deliberately forgiving about the two ways a
+crash can mangle the file — a **torn trailing line** (the write syscall
+itself was interrupted) is dropped, and **duplicate commit records**
+for one cell (a resumed sweep re-committing, or a crash landing between
+two writes) resolve last-one-wins — and deliberately strict about
+everything else: mid-file garbage or a foreign header raises
+:class:`JournalError`, because silently skipping interior corruption
+could resurrect a cell state the sweep never reached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.fabric.manifest import CellOutcome
+
+__all__ = ["JOURNAL_SCHEMA", "JournalError", "SweepJournal", "JournalState",
+           "replay_journal"]
+
+JOURNAL_SCHEMA = "repro.fabric.journal/1"
+
+#: Terminal sweep states a journal may record.
+SWEEP_STATUSES = ("complete", "interrupted", "aborted")
+
+
+class JournalError(ValueError):
+    """A journal that cannot be trusted (foreign schema, interior
+    corruption, or a grid mismatch on resume)."""
+
+
+class SweepJournal:
+    """Append-only writer for one sweep's durable journal.
+
+    Use the constructor for a fresh sweep (truncates, writes the
+    header) and :meth:`resume` to continue an interrupted journal
+    (repairs a torn trailing line, then appends — the single header
+    stays line 1 forever).
+    """
+
+    def __init__(self, path: str, header: Optional[Dict[str, Any]] = None,
+                 _append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if _append:
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self.header = header or {}
+        else:
+            self.header = dict(header or {})
+            self.header.setdefault("schema", JOURNAL_SCHEMA)
+            self.header.setdefault("wall_time",
+                                   time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write_line(self.header)
+            self.sync()
+
+    @classmethod
+    def for_sweep(cls, path: str, spec: Any, workers: int,
+                  cache_dir: str) -> "SweepJournal":
+        """Open a fresh journal whose header can later drive ``resume``."""
+        return cls(path, header={
+            "schema": JOURNAL_SCHEMA,
+            "suite": spec.suite,
+            "cells": len(spec.expand()),
+            "workers": int(workers),
+            "cache_dir": str(cache_dir),
+            "grid": spec.to_dict(),
+        })
+
+    @classmethod
+    def resume(cls, path: str) -> "SweepJournal":
+        """Reopen an interrupted journal for appending.
+
+        A torn trailing line (partial write at the moment of death) is
+        truncated away first, so the next entry starts on a clean line.
+        """
+        state = replay_journal(path)      # validates header + interior
+        if state.torn_bytes is not None:
+            with open(path, "r+b") as fh:
+                fh.truncate(state.torn_bytes)
+        return cls(path, header=state.header, _append=True)
+
+    # ------------------------------------------------------------- writes
+    def _write_line(self, obj: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(obj, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def transition(self, cell: int, state: str,
+                   **fields: Any) -> None:
+        """WAL a non-final cell state change (flushed, not fsync'd)."""
+        entry: Dict[str, Any] = {"kind": "cell", "cell": int(cell),
+                                 "state": state}
+        entry.update(fields)
+        self._write_line(entry)
+
+    def commit(self, outcome: CellOutcome, sync: bool = True) -> None:
+        """Record a cell's final outcome durably (flush + fsync).
+
+        ``sync=False`` defers the fsync — used by the bulk cache-hit
+        scan, which writes hundreds of commits and fsyncs once via
+        :meth:`sync` instead of once per line.
+        """
+        self._write_line({"kind": "commit", "cell": outcome.index,
+                          "outcome": outcome.to_dict()})
+        if sync:
+            self.sync()
+
+    def status(self, status: str) -> None:
+        """Record the sweep's terminal state (fsync'd)."""
+        if status not in SWEEP_STATUSES:
+            raise ValueError(f"unknown sweep status {status!r}")
+        self._write_line({"kind": "status", "status": status})
+        self.sync()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # -------------------------------------------------------------- close
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`replay_journal` reconstructs from a journal."""
+
+    header: Dict[str, Any]
+    #: committed cell outcomes by grid index (duplicates: last wins)
+    committed: Dict[int, CellOutcome] = field(default_factory=dict)
+    #: last recorded terminal status, or None for a killed sweep
+    status: Optional[str] = None
+    #: byte offset to truncate to when a torn trailing line was found
+    #: (None = the file ended cleanly)
+    torn_bytes: Optional[int] = None
+    #: count of WAL transition lines (narration, not state)
+    transitions: int = 0
+
+    def pending(self, total: int) -> List[int]:
+        """Grid indices with no commit record — the resume worklist."""
+        return [i for i in range(total) if i not in self.committed]
+
+    def counts(self) -> Dict[str, int]:
+        """Committed outcomes tallied by kind."""
+        out: Dict[str, int] = {}
+        for oc in self.committed.values():
+            out[oc.outcome] = out.get(oc.outcome, 0) + 1
+        return out
+
+
+def replay_journal(path: str) -> JournalState:
+    """Rebuild the durable sweep state from a journal file.
+
+    Replay is **idempotent and prefix-consistent**: any prefix of a
+    valid journal yields a state whose committed set is a subset of the
+    full replay's, duplicate commit records collapse last-one-wins, and
+    a torn final line is dropped (its byte offset is reported so a
+    resuming writer can truncate it). A missing/foreign header or a
+    corrupt *interior* line raises :class:`JournalError`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal: {exc}") from None
+    lines: List[bytes] = data.split(b"\n")
+    # data ending in "\n" leaves a final empty chunk; a non-empty final
+    # chunk is a line with no newline — torn by definition.
+    torn_tail = lines[-1] if lines[-1] else None
+    lines = lines[:-1]
+    if not lines:
+        raise JournalError(f"{path}: empty journal (no header line)")
+    try:
+        header = json.loads(lines[0])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise JournalError(f"{path}: header is not valid JSON: {exc}") \
+            from None
+    if not isinstance(header, dict) or header.get("schema") != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"{path}: journal schema must be {JOURNAL_SCHEMA!r}, "
+            f"got {header.get('schema') if isinstance(header, dict) else header!r}")
+    state = JournalState(header=header)
+    if torn_tail is not None:
+        state.torn_bytes = len(data) - len(torn_tail)
+    for n, raw in enumerate(lines[1:], start=2):
+        if not raw.strip():
+            continue
+        try:
+            entry = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            if n == len(lines) and torn_tail is None:
+                # Final complete-looking line that does not parse: the
+                # newline landed but the payload did not — still a torn
+                # tail. Truncate from the start of this line.
+                state.torn_bytes = len(data) - (len(raw) + 1)
+                break
+            raise JournalError(
+                f"{path}: line {n}: corrupt journal entry: {exc}") from None
+        if not isinstance(entry, dict):
+            raise JournalError(f"{path}: line {n}: entry must be an object")
+        kind = entry.get("kind")
+        if kind == "commit":
+            try:
+                outcome = CellOutcome.from_dict(entry["outcome"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise JournalError(
+                    f"{path}: line {n}: bad commit record: {exc}") from None
+            state.committed[outcome.index] = outcome
+        elif kind == "cell":
+            state.transitions += 1
+        elif kind == "status":
+            state.status = entry.get("status")
+        # unknown kinds: forward-compatible, ignored
+    return state

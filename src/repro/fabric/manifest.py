@@ -2,10 +2,17 @@
 
 A :class:`SweepManifest` is the machine-readable receipt of one sweep:
 per cell, its id, content address, outcome (``hit`` / ``miss`` /
-``failed``), attempt count, and — for executed cells — the host seconds
-and engine events it cost. ``python -m repro sweep status`` renders a
-stored manifest; CI's sweep-smoke job asserts on its counts (a repeated
-unchanged sweep must be 100% hits with zero simulated events).
+``failed`` / ``pending``), attempt count, and — for executed cells —
+the host seconds and engine events it cost. ``python -m repro sweep
+status`` renders a stored manifest; CI's sweep-smoke job asserts on its
+counts (a repeated unchanged sweep must be 100% hits with zero
+simulated events).
+
+A ``pending`` cell never ran to a final outcome: the sweep was
+interrupted (graceful SIGINT/SIGTERM drain) or aborted (the
+``--max-failures`` budget tripped) first. The manifest-level ``status``
+(``complete`` / ``interrupted`` / ``aborted``) records which, and
+``sweep resume`` picks the pending cells back up from the journal.
 """
 
 from __future__ import annotations
@@ -19,7 +26,10 @@ __all__ = ["MANIFEST_SCHEMA", "CellOutcome", "SweepManifest"]
 MANIFEST_SCHEMA = "repro.fabric.manifest/1"
 
 #: The closed set of per-cell outcomes.
-OUTCOMES = ("hit", "miss", "failed")
+OUTCOMES = ("hit", "miss", "failed", "pending")
+
+#: The closed set of sweep-level terminal states.
+STATUSES = ("complete", "interrupted", "aborted")
 
 
 @dataclass
@@ -30,7 +40,8 @@ class CellOutcome:
     id: str
     key: str
     #: "hit" (served from cache), "miss" (executed), "failed" (typed
-    #: CellFailed: error / crash after retry / timeout)
+    #: CellFailed: error / crash after retries / timeout), "pending"
+    #: (sweep interrupted/aborted before the cell resolved)
     outcome: str
     attempts: int = 1
     host_seconds: float = 0.0
@@ -74,6 +85,9 @@ class SweepManifest:
     #: effectiveness is a stored first-class number (None on manifests
     #: written before the stats existed)
     cache: Optional[Dict[str, Any]] = None
+    #: how the sweep ended: "complete" (every cell resolved), "interrupted"
+    #: (graceful SIGINT/SIGTERM drain), "aborted" (--max-failures tripped)
+    status: str = "complete"
 
     # ------------------------------------------------------------- queries
     def counts(self) -> Dict[str, int]:
@@ -95,6 +109,10 @@ class SweepManifest:
     def failed_cells(self) -> List[CellOutcome]:
         return [c for c in self.cells if c.outcome == "failed"]
 
+    def pending_cells(self) -> List[CellOutcome]:
+        """Cells an interrupted/aborted sweep never resolved."""
+        return [c for c in self.cells if c.outcome == "pending"]
+
     def all_cached(self) -> bool:
         counts = self.counts()
         return (counts["miss"] == 0 and counts["failed"] == 0
@@ -104,6 +122,7 @@ class SweepManifest:
     def to_dict(self) -> Dict[str, Any]:
         d = {"schema": MANIFEST_SCHEMA, "suite": self.suite,
              "workers": self.workers, "elapsed": self.elapsed,
+             "status": self.status,
              "counts": self.counts(),
              "simulated_events": self.simulated_events(),
              "cells": [c.to_dict() for c in self.cells]}
@@ -120,7 +139,8 @@ class SweepManifest:
         return cls(suite=d["suite"], workers=int(d["workers"]),
                    elapsed=float(d.get("elapsed", 0.0)),
                    cells=[CellOutcome.from_dict(c) for c in d.get("cells", [])],
-                   cache=d.get("cache"))
+                   cache=d.get("cache"),
+                   status=str(d.get("status", "complete")))
 
     def dumps(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -150,9 +170,12 @@ class SweepManifest:
                          f"{cell.host_seconds * 1e3:.1f}", cell.events,
                          error])
         counts = self.counts()
-        title = (f"sweep {self.suite!r}: {len(self.cells)} cells — "
+        pending = (f" / {counts['pending']} pending"
+                   if counts.get("pending") else "")
+        status = f" [{self.status}]" if self.status != "complete" else ""
+        title = (f"sweep {self.suite!r}{status}: {len(self.cells)} cells — "
                  f"{counts['hit']} hit / {counts['miss']} miss / "
-                 f"{counts['failed']} failed "
+                 f"{counts['failed']} failed{pending} "
                  f"({100.0 * self.hit_ratio():.0f}% cache hits) — "
                  f"{self.simulated_events()} simulated events, "
                  f"{self.elapsed:.1f}s wall, {self.workers} worker(s)")
@@ -166,4 +189,7 @@ class SweepManifest:
                       f"{self.cache.get('entries', 0)} entries / "
                       f"{self.cache.get('bytes', 0)} evictable bytes "
                       f"in {self.cache.get('root', '?')}")
+            if self.cache.get("quarantined"):
+                table += (f"\ncache: {self.cache['quarantined']} corrupt "
+                          f"entr(ies) quarantined — run 'sweep fsck'")
         return table

@@ -33,19 +33,24 @@ a cell's virtual-time result cannot depend on where it ran.
 from __future__ import annotations
 
 import os
+import queue as _queue_mod
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+import repro.fabric.faultpoints as faultpoints
 from repro.fabric.gridspec import Scenario
 
 __all__ = ["Job", "CellFailed", "execute_cell", "install_heartbeat",
            "worker_main", "CRASH_FLAG_ENV", "HOOK_EVERY_EVENTS"]
 
-#: Test hook: when set to a path, a worker hard-exits (os._exit) before
-#: executing its next cell unless the flag file already exists — the file
-#: is created first, so exactly one crash happens and the retry succeeds.
-#: This exercises the real crash-recovery path deterministically.
+#: Legacy spelling of the ``worker-cell-start`` fault point
+#: (:mod:`repro.fabric.faultpoints`): when set to a path, a worker
+#: hard-exits (os._exit) before executing its next cell unless the flag
+#: file already exists — the file is created first, so exactly one crash
+#: happens and the retry succeeds. New code should arm
+#: ``faultpoints.WORKER_CELL_START`` instead; both spellings exercise
+#: the same recovery path.
 CRASH_FLAG_ENV = "REPRO_FABRIC_CRASH_FLAG"
 
 #: The engine host hook fires every this-many dispatched events; the
@@ -133,7 +138,8 @@ def _maybe_crash_for_test() -> None:
     if flag and not os.path.exists(flag):
         with open(flag, "w", encoding="utf-8"):
             pass
-        os._exit(43)  # simulate a hard worker death, bypassing cleanup
+        os._exit(faultpoints.FAULTPOINT_EXIT)  # hard death, no cleanup
+    faultpoints.maybe_crash(faultpoints.WORKER_CELL_START)
 
 
 def worker_main(job_q: Any, result_q: Any, suite: str = "sweep",
@@ -143,8 +149,26 @@ def worker_main(job_q: Any, result_q: Any, suite: str = "sweep",
     With ``heartbeat`` set, a periodic engine hook reports the running
     cell's progress as ``("beat", index, prog, pid)`` messages at most
     every ``heartbeat`` host seconds.
+
+    Workers ignore SIGINT: a terminal Ctrl-C lands on the whole process
+    group, and graceful shutdown means the *orchestrator* decides —
+    in-flight cells drain to completion unless it escalates (SIGTERM
+    from the scheduler's kill path still works).
+
+    An idle worker polls the queue and checks that its parent is still
+    alive between polls: if the orchestrator is SIGKILL'd (so neither
+    the sentinel nor multiprocessing's daemon cleanup ever arrives),
+    the orphaned worker exits on its own instead of blocking on the job
+    queue forever and pinning the inherited pipes open.
     """
+    import signal as _signal
+
+    try:
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover — non-main thread
+        pass
     pid = os.getpid()
+    parent = os.getppid()
     current: Dict[str, int] = {"index": -1}
     if heartbeat is not None:
         def emit(events: int, virtual: float) -> None:
@@ -155,7 +179,12 @@ def worker_main(job_q: Any, result_q: Any, suite: str = "sweep",
 
         install_heartbeat(emit, heartbeat)
     while True:
-        job = job_q.get()
+        try:
+            job = job_q.get(timeout=1.0)
+        except _queue_mod.Empty:
+            if os.getppid() != parent:   # orphaned: orchestrator is gone
+                return
+            continue
         if job is None:
             result_q.put(("bye", -1, None, pid))
             return

@@ -338,6 +338,11 @@ class FleetReport:
         metric("repro_sweep_events_per_second",
                "Aggregate fleet throughput in engine events per second.",
                "gauge", [("", self.aggregate_events_per_sec())])
+        if self.manifest is not None and self.manifest.get("cache"):
+            metric("repro_sweep_cache_quarantined",
+                   "Corrupt cache entries quarantined on this cache root.",
+                   "gauge",
+                   [("", self.manifest["cache"].get("quarantined", 0))])
         eta = self.eta_seconds()
         if eta is not None:
             metric("repro_sweep_eta_seconds",
@@ -443,6 +448,11 @@ class FleetReport:
                   f"aggregate: {self.aggregate_events_per_sec():,.0f} "
                   f"events/s  kills: {self.kills}  deaths: {self.deaths}  "
                   f"ETA: {eta_text}")
+        if self.manifest is not None and self.manifest.get("cache", {}) \
+                .get("quarantined"):
+            footer += (f"\ncache: "
+                       f"{self.manifest['cache']['quarantined']} corrupt "
+                       f"entr(ies) quarantined — run 'sweep fsck'")
         return table + "\n" + footer
 
 

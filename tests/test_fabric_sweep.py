@@ -69,11 +69,11 @@ class TestSweepSerial:
         cache = small_cache(tmp_path)
         first = run_sweep(SMALL, cache=cache)
         counts = first.manifest.counts()
-        assert counts == {"hit": 0, "miss": 4, "failed": 0}
+        assert counts == {"hit": 0, "miss": 4, "failed": 0, "pending": 0}
         assert validate_telemetry(first.doc) == []
 
         second = run_sweep(SMALL, cache=cache)
-        assert second.manifest.counts() == {"hit": 4, "miss": 0, "failed": 0}
+        assert second.manifest.counts() == {"hit": 4, "miss": 0, "failed": 0, "pending": 0}
         assert second.manifest.all_cached()
         assert second.manifest.simulated_events() == 0
         # cached rerun reproduces the document byte-for-byte (canonically)
@@ -173,7 +173,7 @@ class TestCacheSharing:
                             cache=TelemetryCache(store))
         spec = GridSpec(presets=("smp-2",), labels=("PI",), scales=(0.05,))
         result = run_sweep(spec, cache=store)
-        assert result.manifest.counts() == {"hit": 1, "miss": 0, "failed": 0}
+        assert result.manifest.counts() == {"hit": 1, "miss": 0, "failed": 0, "pending": 0}
 
     def test_execute_cell_matches_cached_identity(self, tmp_path):
         sc = Scenario(preset="smp-2", label="PI", scale=0.04)
