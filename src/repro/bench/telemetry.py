@@ -148,7 +148,8 @@ def run_unit(preset_name: str, label: str, scale: float,
              profiler: Optional[Any] = None,
              overrides: Optional[Dict[str, Any]] = None,
              faults: Optional[Any] = None,
-             nodes: Optional[int] = None) -> Dict[str, Any]:
+             nodes: Optional[int] = None,
+             sharing: bool = False) -> Dict[str, Any]:
     """Execute one benchmark unit ``repeat`` times and build its record.
 
     Virtual time must be identical across repeats (the simulator is
@@ -159,6 +160,11 @@ def run_unit(preset_name: str, label: str, scale: float,
     ``overrides`` / ``faults`` / ``nodes`` are the sweep axes of
     :mod:`repro.fabric`: machine-parameter overrides merged into the
     preset, a fault plan, and a node-count override.
+
+    ``sharing`` additionally records sharing-pattern analytics
+    (:mod:`repro.obs.sharing`) and attaches their rollup as the record's
+    schema-versioned ``sharing`` field. Host-side only: virtual time,
+    fingerprints, and every canonical field stay identical either way.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
@@ -171,6 +177,7 @@ def run_unit(preset_name: str, label: str, scale: float,
     for _ in range(repeat):
         config = _unit_config(preset_name, overrides, faults, nodes)
         config.observe = True  # critical-path breakdown; free in virtual time
+        config.sharing = bool(sharing)
 
         def one_run(cfg: ClusterConfig = config):
             return run_app_detailed(cfg, wl.app, native=native, **params)
@@ -199,7 +206,7 @@ def run_unit(preset_name: str, label: str, scale: float,
     cp = critical_path_report(plat)
     breakdown = {cat: round(val, 12) for cat, val in cp.totals().items()}
 
-    return {
+    record: Dict[str, Any] = {
         "id": f"{preset_name}/{label}",
         "suite": suite,
         "benchmark": label,
@@ -223,13 +230,19 @@ def run_unit(preset_name: str, label: str, scale: float,
             _unit_config(preset_name, overrides, faults, nodes), wl.app,
             params, scale, native),
     }
+    if sharing and plat.sharing is not None:
+        from repro.obs import sharing_summary
+
+        record["sharing"] = sharing_summary(plat.sharing)
+    return record
 
 
 def run_suite_telemetry(suite: str = "smoke", scale: Optional[float] = None,
                         repeat: int = 1, only: Optional[str] = None,
                         profiler: Optional[Any] = None,
                         progress: Optional[Callable[[str], None]] = None,
-                        cache: Optional[Any] = None) -> Dict[str, Any]:
+                        cache: Optional[Any] = None,
+                        sharing: bool = False) -> Dict[str, Any]:
     """Run a named suite and return its telemetry document.
 
     ``only`` filters unit ids by substring (CI smoke tests run single
@@ -240,6 +253,10 @@ def run_suite_telemetry(suite: str = "smoke", scale: Optional[float] = None,
     :class:`repro.fabric.cache.TelemetryCache`): when given, every unit
     is looked up by its content address before running — serial runs and
     parallel sweeps share hits — and fresh records are stored back.
+
+    ``sharing`` attaches the sharing-pattern rollup to every record (see
+    :func:`run_unit`); the cache is bypassed in that mode so records with
+    and without the extra field never mix under one content address.
     """
     try:
         spec = SUITES[suite]
@@ -247,6 +264,8 @@ def run_suite_telemetry(suite: str = "smoke", scale: Optional[float] = None,
         raise ConfigurationError(
             f"unknown suite {suite!r}; known: {sorted(SUITES)}") from None
     use_scale = spec.scale if scale is None else scale
+    if sharing:
+        cache = None
     records: List[Dict[str, Any]] = []
     for preset_name, native in spec.presets:
         for label in spec.labels:
@@ -265,7 +284,8 @@ def run_suite_telemetry(suite: str = "smoke", scale: Optional[float] = None,
                 progress(unit_id)
             record = run_unit(preset_name, label, use_scale,
                               native=native, repeat=repeat,
-                              suite=suite, profiler=profiler)
+                              suite=suite, profiler=profiler,
+                              sharing=sharing)
             if cache is not None:
                 cache.store_record(record)
             records.append(record)
@@ -354,6 +374,33 @@ def validate_telemetry(doc: Any) -> List[str]:
                     if not isinstance(v, (int, float)):
                         errors.append(f"{where}.{dict_field}[{k!r}] is not "
                                       "a number")
+        if "sharing" in rec:
+            errors.extend(_validate_sharing_field(rec["sharing"], where))
+    return errors
+
+
+def _validate_sharing_field(sh: Any, where: str) -> List[str]:
+    """Check a record's optional schema-versioned ``sharing`` rollup."""
+    from repro.obs.diagnose import SHARING_SCHEMA
+
+    errors: List[str] = []
+    if not isinstance(sh, dict):
+        return [f"{where}.sharing is not an object"]
+    if sh.get("schema") != SHARING_SCHEMA:
+        errors.append(f"{where}.sharing.schema must be {SHARING_SCHEMA!r}, "
+                      f"got {sh.get('schema')!r}")
+    for key in ("ping_pong_pages", "false_sharing_pages"):
+        if not isinstance(sh.get(key), int) or sh.get(key, 0) < 0:
+            errors.append(f"{where}.sharing.{key} must be a "
+                          "non-negative integer")
+    for key in ("top_hot_page_fault_rate_hz", "barrier_max_skew_s"):
+        val = sh.get(key)
+        if not isinstance(val, (int, float)) or isinstance(val, bool) \
+                or val < 0:
+            errors.append(f"{where}.sharing.{key} must be a "
+                          "non-negative number")
+    if not isinstance(sh.get("false_sharing_ranges"), list):
+        errors.append(f"{where}.sharing.false_sharing_ranges must be a list")
     return errors
 
 

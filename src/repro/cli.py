@@ -125,6 +125,10 @@ def _add_obs_options(cmd) -> None:
     cmd.add_argument("--metrics-out", metavar="FILE",
                      help="write sampled metrics (.csv, or JSON otherwise); "
                           "requires --metrics-interval")
+    cmd.add_argument("--sharing-out", metavar="FILE",
+                     help="record sharing-pattern analytics and write the "
+                          "repro.obs.sharing/1 diagnosis report as JSON "
+                          "(see 'repro diagnose' for the full pipeline)")
 
 
 def _apply_obs(config, args) -> None:
@@ -133,6 +137,8 @@ def _apply_obs(config, args) -> None:
         raise SystemExit("--metrics-out requires --metrics-interval")
     if getattr(args, "trace_out", None):
         config.observe = True
+    if getattr(args, "sharing_out", None):
+        config.sharing = True
     if getattr(args, "metrics_interval", None) is not None:
         config.metrics_interval = args.metrics_interval
 
@@ -154,6 +160,20 @@ def _export_obs(plat, args) -> None:
                 else plat.metrics.to_json())
         write_text(path, text)
         print(f"metrics  : written to {path} ({len(plat.metrics)} samples)")
+    if getattr(args, "sharing_out", None):
+        import json as _json
+
+        from repro.obs import sharing_report
+
+        doc = sharing_report(plat.sharing,
+                             platform_name=plat.hamster.platform_description(),
+                             n_ranks=plat.dsm.n_procs,
+                             page_size=plat.dsm.space.page_size)
+        write_text(args.sharing_out, _json.dumps(doc, indent=2,
+                                                 sort_keys=True))
+        print(f"sharing  : written to {args.sharing_out} "
+              f"({len(doc['ping_pong'])} ping-pong pages, "
+              f"{len(doc['false_sharing']['pages'])} false sharing)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,6 +239,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_options(trace)
     _add_obs_options(trace)
 
+    diag = sub.add_parser(
+        "diagnose", help="sharing diagnosis: ping-pong/false-sharing "
+                         "detection, hot pages/locks, barrier skew")
+    diag.add_argument("--validate", metavar="FILE",
+                      help="validate an exported sharing report JSON file "
+                           "and exit (no run)")
+    dtarget = diag.add_mutually_exclusive_group()
+    dtarget.add_argument("--preset", default="sw-dsm-4",
+                         help=f"platform preset ({', '.join(sorted(PRESETS))})")
+    dtarget.add_argument("--config", help="cluster configuration file")
+    diag.add_argument("--app", default="sor",
+                      help=f"benchmark ({', '.join(sorted(APP_TABLE))})")
+    diag.add_argument("--param", action="append", type=_parse_param,
+                      default=[], metavar="NAME=VALUE",
+                      help="benchmark parameter override (repeatable)")
+    diag.add_argument("--top", type=int, default=10, metavar="N",
+                      help="hot pages/locks to report (default 10)")
+    diag.add_argument("--min-alternations", type=int, default=4, metavar="N",
+                      help="writer handoffs before a page counts as "
+                           "ping-pong (default 4)")
+    diag.add_argument("--min-rate", type=float, default=0.0, metavar="HZ",
+                      help="minimum handoff rate (per virtual second) "
+                           "before a page counts as ping-pong (default 0)")
+    diag.add_argument("--json-out", metavar="FILE",
+                      help="write the repro.obs.sharing/1 report as JSON")
+    diag.add_argument("--heatmap-out", metavar="FILE",
+                      help="write the per-page virtual-time heatmap CSV")
+    diag.add_argument("--trace-out", metavar="FILE",
+                      help="write Chrome counter tracks for the hottest "
+                           "pages (load next to the span trace)")
+    diag.add_argument("--bins", type=int, default=50, metavar="N",
+                      help="time bins for heatmap/trace export (default 50)")
+    _add_fault_options(diag)
+
     bench = sub.add_parser(
         "bench", help="benchmark telemetry: run suites, gate regressions")
     bsub = bench.add_subparsers(dest="bench_command", required=True)
@@ -247,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "addressed result cache in DIR; cells already "
                            "computed — by any run or sweep — are not "
                            "re-simulated")
+    brun.add_argument("--sharing", action="store_true",
+                      help="attach the sharing-pattern rollup (ping-pong/"
+                           "false-sharing counts, hot page/lock, barrier "
+                           "skew) to every record; bypasses --cache")
 
     bcmp = bsub.add_parser(
         "compare", help="compare recorded telemetry against a baseline")
@@ -572,6 +630,69 @@ def _cmd_trace(args) -> int:
     return 0 if merged.verified else 1
 
 
+def _cmd_diagnose(args) -> int:
+    import json
+
+    if args.validate:
+        from repro.obs import validate_sharing_report
+
+        with open(args.validate, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        errors = validate_sharing_report(doc)
+        if errors:
+            for err in errors:
+                print(f"invalid: {err}")
+            return 1
+        print(f"valid sharing report: {args.validate} "
+              f"({len(doc['ping_pong'])} ping-pong pages, "
+              f"{len(doc['false_sharing']['pages'])} false sharing)")
+        return 0
+
+    from repro.apps import get_app
+    from repro.apps.common import merge_rank_results
+    from repro.models.jiajia_api import JiaJiaApi
+    from repro.obs import (render_sharing_report, sharing_chrome_trace,
+                           sharing_heatmap_csv, sharing_report)
+    from repro.tools.export import write_text
+
+    config = load(args.config) if args.config else preset(args.preset)
+    plan = _resolve_plan(args)
+    if plan is not None:
+        config.faults = plan
+    config.sharing = True  # the whole point of this subcommand
+    params: Dict[str, Any] = dict(args.param)
+    plat = config.build()
+    api = JiaJiaApi(plat.hamster)
+    fn = get_app(args.app)
+    merged = merge_rank_results(api.run(lambda a: fn(a, **params)))
+    pname = plat.hamster.platform_description()
+    doc = sharing_report(plat.sharing, platform_name=pname,
+                         n_ranks=plat.dsm.n_procs,
+                         page_size=plat.dsm.space.page_size,
+                         top=args.top,
+                         min_alternations=args.min_alternations,
+                         min_rate=args.min_rate)
+    print(f"platform : {pname}")
+    print(f"benchmark: {args.app} {params or ''}")
+    print(f"verified : {merged.verified}")
+    print()
+    print(render_sharing_report(doc))
+    if args.json_out:
+        write_text(args.json_out, json.dumps(doc, indent=2, sort_keys=True))
+        print(f"report   : written to {args.json_out}")
+    if args.heatmap_out:
+        write_text(args.heatmap_out,
+                   sharing_heatmap_csv(plat.sharing, bins=args.bins))
+        print(f"heatmap  : written to {args.heatmap_out}")
+    if args.trace_out:
+        trace = sharing_chrome_trace(plat.sharing, platform_name=pname,
+                                     top=args.top, bins=args.bins)
+        write_text(args.trace_out, json.dumps(trace))
+        print(f"trace    : written to {args.trace_out} "
+              f"({len(trace['traceEvents'])} events)")
+    return 0 if merged.verified else 1
+
+
 def _default_baseline_path(suite: str) -> str:
     import os.path
 
@@ -634,7 +755,7 @@ def _cmd_bench(args) -> int:
             cache = TelemetryCache(ResultCache(args.cache_dir))
         doc = run_suite_telemetry(
             args.suite, scale=args.scale, repeat=args.repeat, only=args.only,
-            profiler=profiler, cache=cache,
+            profiler=profiler, cache=cache, sharing=args.sharing,
             progress=lambda unit: print(f"[bench] {unit}"))
         if not doc["records"]:
             print(f"--only {args.only!r} matched no benchmark in suite "
@@ -1079,6 +1200,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "sweep":

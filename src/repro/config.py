@@ -62,6 +62,10 @@ class ClusterConfig:
     #: the shared null observer and runs are bit-identical to an
     #: uninstrumented build; on, spans never charge virtual time either.
     observe: bool = False
+    #: sharing-pattern analytics (repro.obs.sharing). Off by default: the
+    #: engine keeps the shared null recorder and runs are bit-identical;
+    #: on, recording is host-side only and never charges virtual time.
+    sharing: bool = False
     #: time-series metrics sampling period in virtual seconds (None = off)
     metrics_interval: Optional[float] = None
     name: str = ""
@@ -109,6 +113,14 @@ class ClusterConfig:
 
         params = self.params()
         engine = Engine(trace=Tracer(enabled=True) if self.trace else None)
+        sharing = None
+        if self.sharing:
+            # Installed before the DSM is constructed so substrates can
+            # attach their PageTable transition hooks at init time.
+            from repro.obs.sharing import SharingRecorder
+
+            sharing = SharingRecorder(engine)
+            engine.sharing = sharing
         n_ranks = self.ranks if self.ranks is not None else self.nodes
         if self.platform == "smp":
             cluster = Cluster.smp(engine, n_cpus=max(self.nodes, n_ranks), params=params)
@@ -153,7 +165,7 @@ class ClusterConfig:
         obs = metrics = None
         built = BuiltPlatform(config=self, engine=engine, cluster=cluster,
                               fabric=fabric, dsm=dsm, hamster=hamster,
-                              faults=injector)
+                              faults=injector, sharing=sharing)
         if self.observe:
             from repro.obs import ObsRecorder
 
@@ -189,8 +201,10 @@ class ClusterConfig:
             plan = FaultPlan.coerce(self.faults)
             lines += ["", "[faults]",
                       f"plan = {_json.dumps(plan.to_dict(), sort_keys=True)}"]
-        if self.observe or self.metrics_interval is not None:
+        if self.observe or self.sharing or self.metrics_interval is not None:
             lines += ["", "[obs]", f"observe = {str(self.observe).lower()}"]
+            if self.sharing:
+                lines += ["sharing = true"]
             if self.metrics_interval is not None:
                 lines += [f"metrics_interval = {self.metrics_interval}"]
         return "\n".join(lines) + "\n"
@@ -213,6 +227,9 @@ class BuiltPlatform:
     #: the armed :class:`repro.obs.MetricsSampler` when built with a
     #: ``metrics_interval``
     metrics: Any = None
+    #: the :class:`repro.obs.sharing.SharingRecorder` when built with
+    #: ``sharing=True``
+    sharing: Any = None
 
 
 def loads(text: str) -> ClusterConfig:
@@ -258,17 +275,19 @@ def loads(text: str) -> ClusterConfig:
             overrides[key] = float(val)
     faults = _parse_faults(values)
     obs_keys = {key for (sec, key) in values if sec == "obs"}
-    unknown_obs = obs_keys - {"observe", "metrics_interval"}
+    unknown_obs = obs_keys - {"observe", "sharing", "metrics_interval"}
     if unknown_obs:
         raise ConfigurationError(f"unknown [obs] keys {sorted(unknown_obs)}")
     observe = (get("obs", "observe", "false") or "false").lower() in (
+        "1", "true", "yes", "on")
+    sharing = (get("obs", "sharing", "false") or "false").lower() in (
         "1", "true", "yes", "on")
     interval_s = get("obs", "metrics_interval")
     return ClusterConfig(platform=platform, dsm=dsm, nodes=nodes,
                          ranks=int(ranks_s) if ranks_s else None,
                          integrated_messaging=(messaging == "integrated"),
                          param_overrides=overrides, faults=faults,
-                         observe=observe,
+                         observe=observe, sharing=sharing,
                          metrics_interval=float(interval_s) if interval_s else None)
 
 

@@ -126,11 +126,20 @@ class SyncMgmt:
 
     def lock(self, lock_id: int) -> None:
         """Acquire a global lock (with the substrate's acquire semantics)."""
-        with self._h.engine.obs.span("svc.lock", lock=lock_id):
+        engine = self._h.engine
+        with engine.obs.span("svc.lock", lock=lock_id):
             self._h.charge_call()
             self.stats.incr("lock_acquires")
-            self.dsm.lock(lock_id)
-            self._held.setdefault(self.dsm.current_rank(), []).append(lock_id)
+            sharing = engine.sharing
+            if sharing.enabled:
+                t0 = engine.now
+                self.dsm.lock(lock_id)
+                rank = self.dsm.current_rank()
+                sharing.lock_acquired(lock_id, rank, t0, engine.now)
+                self._held.setdefault(rank, []).append(lock_id)
+            else:
+                self.dsm.lock(lock_id)
+                self._held.setdefault(self.dsm.current_rank(), []).append(lock_id)
 
     def try_lock(self, lock_id: int) -> bool:
         """Non-blocking lock attempt; True on success."""
@@ -143,7 +152,8 @@ class SyncMgmt:
 
     def unlock(self, lock_id: int) -> None:
         """Release a global lock (with release consistency semantics)."""
-        with self._h.engine.obs.span("svc.unlock", lock=lock_id):
+        engine = self._h.engine
+        with engine.obs.span("svc.unlock", lock=lock_id):
             self._h.charge_call()
             self.stats.incr("lock_releases")
             rank = self.dsm.current_rank()
@@ -153,6 +163,11 @@ class SyncMgmt:
                     f"rank {rank} releasing lock {lock_id} it does not hold")
             held.remove(lock_id)
             self.dsm.unlock(lock_id)
+            if engine.sharing.enabled:
+                # Hold time ends after the release's consistency actions
+                # (flush + manager handoff) — that is what the next waiter
+                # actually experiences.
+                engine.sharing.lock_released(lock_id, rank, engine.now)
 
     def held_locks(self, rank: Optional[int] = None) -> List[int]:
         if rank is None:
@@ -162,10 +177,18 @@ class SyncMgmt:
     # --------------------------------------------------------------- barrier
     def barrier(self) -> None:
         """Global barrier with barrier consistency."""
-        with self._h.engine.obs.span("svc.barrier"):
+        engine = self._h.engine
+        with engine.obs.span("svc.barrier"):
             self._h.charge_call()
             self.stats.incr("barriers")
-            self.dsm.barrier()
+            sharing = engine.sharing
+            if sharing.enabled:
+                rank = self.dsm.current_rank()
+                t0 = engine.now
+                self.dsm.barrier()
+                sharing.barrier(rank, t0, engine.now)
+            else:
+                self.dsm.barrier()
 
     # ------------------------------------------------------------ conditions
     def new_condition(self, lock_id: int) -> ConditionVar:

@@ -278,6 +278,25 @@ class GlobalMemorySystem(ABC):
                 spans.append((first, last))
         return spans
 
+    def _sharing_record_access(self, rank: int, region: Region,
+                               runs: List[Run], write: bool) -> None:
+        """Feed the engine's sharing recorder the per-page sub-ranges of
+        ``runs`` (page-local ``[lo, hi)`` byte extents — the span
+        information the false-sharing detector intersects across ranks).
+        Host-side only; callers guard on ``engine.sharing.enabled``."""
+        sharing = self.engine.sharing
+        psize = self.space.page_size
+        for off, ln in runs:
+            gaddr = region.gaddr + off
+            end = gaddr + ln
+            while gaddr < end:
+                page = gaddr // psize
+                page_base = page * psize
+                chunk = min(end, page_base + psize) - gaddr
+                lo = gaddr - page_base
+                sharing.access(rank, page, lo, lo + chunk, write)
+                gaddr += chunk
+
     def _pages_touched(self, region: Region, runs: List[Run]) -> List[int]:
         """Sorted, deduplicated global page numbers touched by ``runs``."""
         pages: List[int] = []

@@ -135,6 +135,17 @@ class JiaJiaSystem(GlobalMemorySystem):
 
         self._install_handlers()
 
+        if self.engine.sharing.enabled:
+            # Sharing diagnosis: observe every protection transition (the
+            # invalidation/downgrade stream) per rank. Attached only when
+            # enabled, so the default path keeps the None fast check.
+            sharing = self.engine.sharing
+            engine = self.engine
+            for r, pt in enumerate(self._ptables):
+                pt.on_transition = (
+                    lambda page, old, new, _r=r:
+                    sharing.transition(_r, page, old, new, engine.now))
+
     # ------------------------------------------------------------- handlers
     def _install_handlers(self) -> None:
         self.chan.register_all("getpage", lambda nid: self._h_getpage)
@@ -230,6 +241,12 @@ class JiaJiaSystem(GlobalMemorySystem):
             st.write_faults += len(faulting)
         else:
             st.read_faults += len(faulting)
+        sharing = self.engine.sharing
+        if sharing.enabled:
+            now = self.engine.now
+            for page in faulting:
+                sharing.fault(rank, page, write, now)
+            self._sharing_record_access(rank, region, runs, write)
         obs = self.engine.obs
         for page in faulting:
             # One span per page fault (the simulated SIGSEGV); its getpage
@@ -288,6 +305,9 @@ class JiaJiaSystem(GlobalMemorySystem):
             node.mem_touch(length)
         st = self.rank_stats[rank]
         st.pages_fetched += 1
+        if self.engine.sharing.enabled:
+            self.engine.sharing.fetch(rank, page, home, length,
+                                      self.engine.now)
         self.engine.trace.emit("jj.fetch", rank=rank, page=page, home=home)
 
     def _h_getpage(self, msg) -> Reply:
@@ -388,6 +408,13 @@ class JiaJiaSystem(GlobalMemorySystem):
             self.chan.rpc(self.node_of(rank), self.node_of(home), "putdiffs",
                           payload={"diffs": diffs}, size=size)
         dirty.clear()
+        if self.engine.sharing.enabled:
+            # Write notices are the protocol's ownership stream: one per
+            # page per interval, naming the writer — exactly what the
+            # ping-pong detector alternates over.
+            now = self.engine.now
+            for n in notices:
+                self.engine.sharing.notice(n.page, n.writer, now)
         self._history[rank].extend(notices)
         self._pending[rank].extend(notices)
         return notices

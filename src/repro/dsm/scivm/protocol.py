@@ -106,6 +106,9 @@ class SciVmSystem(GlobalMemorySystem):
         home_map = self._home
         placement = self.placement
         src_node = placement[rank]
+        sharing = self.engine.sharing
+        if sharing.enabled:
+            self._sharing_record_access(rank, region, runs, write)
         for off, ln in runs:
             gaddr = region.gaddr + off
             end = gaddr + ln
@@ -128,6 +131,9 @@ class SciVmSystem(GlobalMemorySystem):
                         st.remote_reads += 1
                         self.sci.remote_read(chunk, src=src_node,
                                              dst=placement[home])
+                    if sharing.enabled:
+                        sharing.remote(rank, page, home, write, chunk,
+                                       self.engine.now)
                 gaddr += chunk
         if local_bytes:
             node.mem_touch(local_bytes)

@@ -69,6 +69,10 @@ class SmpMemorySystem(GlobalMemorySystem):
         node = self.cluster.node(self.node_of(rank))
         nbytes = sum(ln for _, ln in runs)
         node.mem_touch(nbytes)  # serialized on the shared bus
+        if self.engine.sharing.enabled:
+            # No protocol events on UMA (hardware coherence), but per-page
+            # access counts and write ranges still locate bus hot spots.
+            self._sharing_record_access(rank, region, runs, write)
         return self._buffers[region.region_id]
 
     # ------------------------------------------------------------------ sync

@@ -35,6 +35,10 @@ class PageTable:
     def __init__(self, name: str = "pt") -> None:
         self.name = name
         self._states: Dict[int, PageState] = {}
+        #: optional transition observer ``fn(page, old, new)`` fed by every
+        #: protection change (repro.obs.sharing attaches here when sharing
+        #: diagnosis is on; None — the default — costs one falsy check)
+        self.on_transition = None
         # ---------------------------------------------------- statistics
         self.read_faults = 0
         self.write_faults = 0
@@ -43,20 +47,30 @@ class PageTable:
         return self._states.get(page, PageState.INVALID)
 
     def set_state(self, page: int, state: PageState) -> None:
+        if self.on_transition is not None:
+            old = self._states.get(page, PageState.INVALID)
+            if old is not state:
+                self.on_transition(page, int(old), int(state))
         if state is PageState.INVALID:
             self._states.pop(page, None)
         else:
             self._states[page] = state
 
     def invalidate(self, page: int) -> None:
-        self._states.pop(page, None)
+        old = self._states.pop(page, None)
+        if old is not None and self.on_transition is not None:
+            self.on_transition(page, int(old), 0)
 
     def invalidate_many(self, pages: Iterable[int]) -> int:
         """Invalidate the given pages; returns how many were actually valid."""
         n = 0
+        hook = self.on_transition
         for p in pages:
-            if self._states.pop(p, None) is not None:
+            old = self._states.pop(p, None)
+            if old is not None:
                 n += 1
+                if hook is not None:
+                    hook(p, int(old), 0)
         return n
 
     def faulting_pages(self, pages: Iterable[int], write: bool) -> List[int]:

@@ -18,6 +18,12 @@ needs on top of them:
   compute/protocol/wire/blocked categories.
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loads in Perfetto
   or ``chrome://tracing``) and a lightweight schema validator for CI.
+* :mod:`repro.obs.sharing` / :mod:`repro.obs.diagnose` — **sharing-pattern
+  analytics**: the per-page × per-rank protocol stream (faults, fetches,
+  write notices, invalidations, remote transactions) plus per-lock
+  wait/hold histograms and barrier skew, with ping-pong and false-sharing
+  detectors, top-N hot pages/locks, and JSON/CSV/Chrome exporters —
+  ``python -m repro diagnose``.
 * :mod:`repro.obs.fleet` — the same discipline one level up: a
   :class:`~repro.obs.fleet.FleetReport` rolls a sweep's structured event
   log (:mod:`repro.fabric.events`) into per-worker utilization, fleet
@@ -38,7 +44,13 @@ from repro.obs.export import (chrome_trace, chrome_trace_json,
                               validate_chrome_trace)
 from repro.obs.fleet import (FleetReport, WorkerStats,
                              fleet_report_from_path)
+from repro.obs.diagnose import (SHARING_SCHEMA, classify_sharing,
+                                ping_pong_pages, render_sharing_report,
+                                sharing_chrome_trace, sharing_heatmap_csv,
+                                sharing_report, sharing_summary,
+                                validate_sharing_report)
 from repro.obs.metrics import MetricPoint, MetricsSampler
+from repro.obs.sharing import NULL_SHARING, NullSharing, SharingRecorder
 from repro.obs.spans import NULL_OBS, NullObserver, ObsRecorder, Span
 
 __all__ = [
@@ -59,4 +71,16 @@ __all__ = [
     "FleetReport",
     "WorkerStats",
     "fleet_report_from_path",
+    "SharingRecorder",
+    "NullSharing",
+    "NULL_SHARING",
+    "SHARING_SCHEMA",
+    "ping_pong_pages",
+    "classify_sharing",
+    "sharing_report",
+    "render_sharing_report",
+    "validate_sharing_report",
+    "sharing_heatmap_csv",
+    "sharing_chrome_trace",
+    "sharing_summary",
 ]

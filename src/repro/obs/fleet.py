@@ -35,6 +35,12 @@ __all__ = ["WorkerStats", "FleetReport", "fleet_report_from_path"]
 _US = 1e6  # seconds -> microseconds (Chrome trace unit)
 
 
+def _cell_index(ev: Dict[str, Any]) -> int:
+    """Grid index of an event's cell, -1 when absent or null."""
+    cell = ev.get("cell")
+    return -1 if cell is None else int(cell)
+
+
 @dataclass
 class WorkerStats:
     """One worker's share of the sweep, derived from its events."""
@@ -109,7 +115,7 @@ class FleetReport:
     def _replay(self) -> None:
         for ev in self.events:
             kind = ev.get("kind")
-            t = float(ev.get("t", 0.0))
+            t = float(ev.get("t") or 0.0)
             self.elapsed = max(self.elapsed, t)
             data = ev.get("data") or {}
             wid = ev.get("worker")
@@ -118,8 +124,11 @@ class FleetReport:
             if kind == "sweep-end":
                 self.finished = True
             elif kind in ("worker-spawn", "worker-respawn"):
+                # A spawn line missing its worker id (truncated write,
+                # hand-edited log) must not take the whole report down.
                 ws = self._worker(wid)
-                ws.pid = data.get("pid")
+                if ws is not None:
+                    ws.pid = data.get("pid")
                 if kind == "worker-respawn":
                     self.respawns += 1
             elif kind == "started":
@@ -139,7 +148,7 @@ class FleetReport:
                     duration = max(0.0, t - ws._started_at)
                     ws.busy_seconds += duration
                     ws.slices.append((ws._started_at, t,
-                                      int(ev.get("cell", -1)),
+                                      _cell_index(ev),
                                       str(ev.get("id", "?")),
                                       kind == "done"))
                     if kind == "done":
@@ -164,7 +173,7 @@ class FleetReport:
                     if ws._started_at is not None:
                         ws.busy_seconds += max(0.0, t - ws._started_at)
                         ws.slices.append((ws._started_at, t,
-                                          int(ev.get("cell", -1)),
+                                          _cell_index(ev),
                                           str(ev.get("id", "killed")),
                                           False))
                         ws._started_at = None
@@ -242,6 +251,26 @@ class FleetReport:
                 totals[cat] = totals.get(cat, 0.0) + float(val)
         return totals
 
+    def sharing_totals(self) -> Optional[Dict[str, float]]:
+        """Fleet rollup of the records' ``sharing`` fields (see
+        ``repro bench run --sharing``): worst hot-page fault rate and
+        total ping-pong / false-sharing page counts across the sweep.
+        ``None`` when no joined record carries sharing analytics.
+        """
+        shared = [rec["sharing"] for rec in self.records
+                  if isinstance(rec.get("sharing"), dict)]
+        if not shared:
+            return None
+        return {
+            "hot_page_fault_rate_hz": max(
+                (float(sh.get("top_hot_page_fault_rate_hz", 0.0))
+                 for sh in shared), default=0.0),
+            "ping_pong_pages": float(sum(
+                int(sh.get("ping_pong_pages", 0)) for sh in shared)),
+            "false_sharing_pages": float(sum(
+                int(sh.get("false_sharing_pages", 0)) for sh in shared)),
+        }
+
     # ---------------------------------------------------------- exports
     def to_dict(self) -> Dict[str, Any]:
         per_worker = {}
@@ -283,6 +312,10 @@ class FleetReport:
             d["critical_path_totals"] = {
                 cat: round(val, 9)
                 for cat, val in self.critical_path_totals().items()}
+        sharing = self.sharing_totals()
+        if sharing is not None:
+            d["sharing_totals"] = {k: round(v, 9)
+                                   for k, v in sharing.items()}
         if self.manifest is not None and self.manifest.get("cache"):
             d["cache"] = self.manifest["cache"]
         return d
@@ -362,6 +395,20 @@ class FleetReport:
                    "gauge",
                    [(f'category="{cat}"', val) for cat, val
                     in sorted(self.critical_path_totals().items())])
+        sharing = self.sharing_totals()
+        if sharing is not None:
+            metric("repro_sweep_hot_page_fault_rate",
+                   "Worst per-page fault rate (faults per virtual second) "
+                   "over the joined sharing analytics.",
+                   "gauge", [("", sharing["hot_page_fault_rate_hz"])])
+            metric("repro_sweep_ping_pong_pages",
+                   "Pages whose ownership ping-pongs between ranks, "
+                   "summed over the joined records.",
+                   "gauge", [("", sharing["ping_pong_pages"])])
+            metric("repro_sweep_false_sharing_pages",
+                   "Ping-pong pages classified as false sharing, summed "
+                   "over the joined records.",
+                   "gauge", [("", sharing["false_sharing_pages"])])
         return "\n".join(lines) + "\n"
 
     def chrome_trace(self) -> Dict[str, Any]:
@@ -405,6 +452,13 @@ class FleetReport:
                     "pid": int(ev["worker"]), "tid": 0,
                     "args": {"value": data.get("events_executed", 0)},
                 })
+        if not events:
+            # A sweep that produced no worker events (empty log, header
+            # only) still exports a loadable, validator-clean trace.
+            events.append({
+                "name": "process_name", "ph": "M", "ts": 0.0,
+                "pid": 0, "tid": 0, "args": {"name": "sweep (no workers)"},
+            })
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",

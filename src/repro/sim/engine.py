@@ -35,6 +35,7 @@ import time as _time
 from typing import Callable, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.sharing import NULL_SHARING
 from repro.obs.spans import NULL_OBS
 from repro.sim.eventq import make_queue
 from repro.sim.process import SimProcess
@@ -114,6 +115,11 @@ class Engine:
         # cost, bit-identical runs. ClusterConfig.build swaps in a real
         # ObsRecorder when observability is requested.
         self.obs = NULL_OBS
+        # Sharing-pattern analytics (repro.obs.sharing), same discipline as
+        # obs: the shared null recorder is a no-op at every protocol
+        # instrumentation site; ClusterConfig.build swaps in a real
+        # SharingRecorder when sharing diagnosis is requested.
+        self.sharing = NULL_SHARING
         # Host-side telemetry (repro.bench): how many events this engine has
         # dispatched and how much real wall-clock time run() has consumed.
         # Plain counters — they never influence virtual time.

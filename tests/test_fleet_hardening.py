@@ -1,0 +1,168 @@
+"""FleetReport hardening: degenerate and malformed event logs.
+
+A live ``sweep watch`` tails a log that may be header-only, truncated
+mid-write, or missing fields — the report must keep answering (with
+zeros, not ZeroDivisionError or AttributeError) and every exporter must
+stay loadable. Also covers the sharing-gauge rollup that rides on joined
+telemetry records (``bench run --sharing``).
+"""
+
+import math
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.fleet import FleetReport
+
+
+def record(rec_id="a", **sharing):
+    """Minimal telemetry record, optionally carrying a sharing rollup."""
+    rec = {"id": rec_id, "critical_path": {"compute": 1.0}}
+    if sharing:
+        base = {"schema": "repro.obs.sharing/1", "ping_pong_pages": 0,
+                "false_sharing_pages": 0, "false_sharing_ranges": [],
+                "top_hot_page": None, "top_hot_page_fault_rate_hz": 0.0,
+                "hot_lock": None, "barrier_max_skew_s": 0.0}
+        base.update(sharing)
+        rec["sharing"] = base
+    return rec
+
+
+class TestEmptyReport:
+    """No events at all — the moment after `sweep run` creates the log."""
+
+    def report(self):
+        return FleetReport({}, [])
+
+    def test_no_division_by_zero_anywhere(self):
+        rep = self.report()
+        assert rep.elapsed == 0.0
+        assert rep.cache_hit_ratio() == 0.0
+        assert rep.aggregate_events_per_sec() == 0.0
+        assert rep.resolved_cells() == 0
+        assert rep.remaining_cells() == 0
+        assert rep.eta_seconds() == 0.0      # nothing left, not None
+        assert rep.total_events() == 0
+
+    def test_exports_stay_loadable(self):
+        rep = self.report()
+        d = rep.to_dict()
+        assert d["cells"]["total"] == 0
+        assert not math.isnan(d["cache_hit_ratio"])
+        prom = rep.to_prometheus()
+        assert "repro_sweep_cells" in prom
+        assert "nan" not in prom
+        assert rep.render()          # console rendering must not raise
+        assert validate_chrome_trace(rep.chrome_trace()) == []
+
+    def test_no_records_means_no_sharing_gauges(self):
+        rep = self.report()
+        assert rep.sharing_totals() is None
+        assert "hot_page_fault_rate" not in rep.to_prometheus()
+        assert "sharing_totals" not in rep.to_dict()
+
+
+class TestNoCompletedCells:
+    """Workers spawned, cells started, nothing finished yet: ETA must be
+    'unknown', never a divide-by-zero over the empty duration history."""
+
+    def report(self):
+        events = [
+            {"t": 0.0, "kind": "sweep-begin"},
+            {"t": 0.0, "kind": "worker-spawn", "worker": 0,
+             "data": {"pid": 1}},
+            {"t": 1.0, "kind": "started", "cell": 0, "id": "a", "worker": 0},
+        ]
+        return FleetReport({"cells": 4}, events)
+
+    def test_eta_is_unknown_not_crash(self):
+        rep = self.report()
+        assert rep.cell_durations == []
+        assert rep.eta_seconds() is None
+        assert rep.remaining_cells() == 4
+
+    def test_live_busy_time_and_render(self):
+        rep = self.report()
+        ws = rep.workers[0]
+        assert ws.state == "running a"
+        assert ws.utilization(rep.elapsed) == 0.0   # elapsed == started_at
+        assert "running a" in rep.render()
+        assert validate_chrome_trace(rep.chrome_trace()) == []
+
+
+class TestMalformedEvents:
+    def test_spawn_without_worker_id_survives(self):
+        rep = FleetReport({}, [
+            {"t": 0.0, "kind": "worker-spawn", "data": {"pid": 7}},
+            {"t": 0.5, "kind": "worker-respawn", "data": {"pid": 8}},
+        ])
+        assert rep.workers == {}
+        assert rep.respawns == 1
+
+    def test_null_timestamps_and_cells(self):
+        rep = FleetReport({}, [
+            {"t": None, "kind": "worker-spawn", "worker": 0, "data": {}},
+            {"t": 1.0, "kind": "started", "cell": None, "id": "x",
+             "worker": 0},
+            {"t": 2.0, "kind": "done", "cell": None, "id": "x", "worker": 0,
+             "data": {"events_executed": 10}},
+        ])
+        ws = rep.workers[0]
+        assert ws.done == 1
+        assert ws.slices[0][2] == -1          # sentinel cell index
+        assert validate_chrome_trace(rep.chrome_trace()) == []
+
+    def test_done_without_started_counts_but_adds_no_busy_time(self):
+        rep = FleetReport({}, [
+            {"t": 3.0, "kind": "done", "cell": 0, "id": "a", "worker": 0,
+             "data": {"events_executed": 100}},
+        ])
+        ws = rep.workers[0]
+        assert ws.done == 1 and ws.busy_seconds == 0.0
+        assert ws.events_per_sec() == 0.0     # zero busy time guarded
+
+    def test_kill_with_empty_progress(self):
+        rep = FleetReport({}, [
+            {"t": 1.0, "kind": "started", "cell": 0, "id": "a", "worker": 0},
+            {"t": 2.0, "kind": "worker-kill", "worker": 0, "cell": None,
+             "data": {}},
+        ])
+        assert rep.kills == 1
+        assert rep.workers[0].state == "killed"
+
+
+class TestSharingGauges:
+    def test_rollup_over_records(self):
+        rep = FleetReport({"suite": "s"}, [], records=[
+            record("a", ping_pong_pages=3, false_sharing_pages=2,
+                   top_hot_page_fault_rate_hz=100.0),
+            record("b", ping_pong_pages=1, false_sharing_pages=0,
+                   top_hot_page_fault_rate_hz=250.0),
+            {"id": "c", "critical_path": {}},   # no sharing: skipped
+        ])
+        totals = rep.sharing_totals()
+        assert totals == {"hot_page_fault_rate_hz": 250.0,
+                          "ping_pong_pages": 4.0,
+                          "false_sharing_pages": 2.0}
+
+    def test_prometheus_exposition(self):
+        rep = FleetReport({"suite": "s"}, [], records=[
+            record("a", ping_pong_pages=2, false_sharing_pages=1,
+                   top_hot_page_fault_rate_hz=42.5)])
+        prom = rep.to_prometheus()
+        assert 'repro_sweep_hot_page_fault_rate{suite="s"} 42.5' in prom
+        assert 'repro_sweep_ping_pong_pages{suite="s"} 2' in prom
+        assert 'repro_sweep_false_sharing_pages{suite="s"} 1' in prom
+        for name in ("repro_sweep_hot_page_fault_rate",
+                     "repro_sweep_ping_pong_pages",
+                     "repro_sweep_false_sharing_pages"):
+            assert f"# TYPE {name} gauge" in prom
+
+    def test_gauges_absent_without_sharing_records(self):
+        rep = FleetReport({"suite": "s"}, [],
+                          records=[{"id": "a", "critical_path": {}}])
+        assert rep.sharing_totals() is None
+        assert "hot_page_fault_rate" not in rep.to_prometheus()
+
+    def test_to_dict_carries_rollup(self):
+        rep = FleetReport({"suite": "s"}, [],
+                          records=[record("a", ping_pong_pages=1)])
+        assert rep.to_dict()["sharing_totals"]["ping_pong_pages"] == 1.0
