@@ -15,8 +15,9 @@ import numpy as np
 
 from repro.errors import HamsterError
 
-__all__ = ["AppResult", "compute", "memtouch", "row_block", "AppError",
-           "APP_TABLE", "get_app", "merge_rank_results"]
+__all__ = ["AppResult", "compute", "compute_g", "memtouch", "memtouch_g",
+           "row_block", "AppError", "APP_TABLE", "get_app",
+           "merge_rank_results"]
 
 
 class AppError(HamsterError):
@@ -42,12 +43,25 @@ def compute(api, flops: float) -> None:
     api.hamster.cluster.node(dsm.node_of(dsm.current_rank())).compute(flops)
 
 
+def compute_g(api, flops: float):
+    """Generator kernel of :func:`compute` (``yield from`` it)."""
+    dsm = api.hamster.dsm
+    return api.hamster.cluster.node(dsm.node_of(dsm.current_rank())).compute_g(flops)
+
+
 def memtouch(api, nbytes: float) -> None:
     """Charge extra DRAM traffic beyond what the shared accesses already
     account for (cache-miss re-reads in tight kernels — the matmult
     memory-bound effect)."""
     dsm = api.hamster.dsm
     api.hamster.cluster.node(dsm.node_of(dsm.current_rank())).mem_touch(int(nbytes))
+
+
+def memtouch_g(api, nbytes: float):
+    """Generator kernel of :func:`memtouch` (``yield from`` it)."""
+    dsm = api.hamster.dsm
+    return api.hamster.cluster.node(
+        dsm.node_of(dsm.current_rank())).mem_touch_g(int(nbytes))
 
 
 def row_block(n_rows: int, rank: int, n_ranks: int) -> Tuple[int, int]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import AppResult, compute, row_block
+from repro.apps.common import AppResult, compute_g, row_block
 from repro.memory.layout import block
 
 __all__ = ["run_fft"]
@@ -43,68 +43,76 @@ def _fft_flops(rows: int, length: int) -> float:
 def run_fft(api, n1: int = 64, n2: int = 64, seed: int = 23,
             verify: bool = True) -> AppResult:
     """Run the benchmark on the calling rank (N = n1*n2 points)."""
-    rank, n_ranks = api.jia_init()
+    rank, n_ranks = yield from api.jia_init_g()
 
-    t0 = api.jia_wtime()
+    t0 = yield from api.jia_wtime_g()
     # A holds the n1 x n2 view; B receives the transpose (n2 x n1).
-    A = api.jia_alloc_array((n1, n2, 2), np.float64, name="fft.A",
-                            distribution=block())
-    B = api.jia_alloc_array((n2, n1, 2), np.float64, name="fft.B",
-                            distribution=block())
+    A = yield from api.jia_alloc_array_g((n1, n2, 2), np.float64, name="fft.A",
+                                         distribution=block())
+    B = yield from api.jia_alloc_array_g((n2, n1, 2), np.float64, name="fft.B",
+                                         distribution=block())
     rng = np.random.default_rng(seed)
     signal = rng.standard_normal(n1 * n2) + 1j * rng.standard_normal(n1 * n2)
     # The row-first four-step variant wants the signal laid out column-major
     # on the n1 x n2 grid: grid[a, b] = signal[b*n1 + a].
     grid = signal.reshape(n2, n1).T.copy()
     lo, hi = row_block(n1, rank, n_ranks)
-    A[lo:hi, :, :] = _to_pairs(grid[lo:hi, :])
-    api.jia_barrier()
-    t_init = api.jia_wtime() - t0
+    yield from A.set_g((slice(lo, hi), slice(None), slice(None)),
+                       _to_pairs(grid[lo:hi, :]))
+    yield from api.jia_barrier_g()
+    t_init = (yield from api.jia_wtime_g()) - t0
 
     # --------------------------------------------------- step 1+2: row FFTs
-    t1 = api.jia_wtime()
-    rows = _to_complex(A[lo:hi, :, :])
+    t1 = yield from api.jia_wtime_g()
+    rows = _to_complex(
+        (yield from A.get_g((slice(lo, hi), slice(None), slice(None)))))
     rows = np.fft.fft(rows, axis=1)
-    compute(api, _fft_flops(hi - lo, n2))
+    yield from compute_g(api, _fft_flops(hi - lo, n2))
     # Twiddle factors W_N^(j*k) between the two passes.
     j = np.arange(lo, hi)[:, None]
     k = np.arange(n2)[None, :]
     rows *= np.exp(-2j * np.pi * j * k / (n1 * n2))
-    compute(api, 6.0 * (hi - lo) * n2)
-    A[lo:hi, :, :] = _to_pairs(rows)
-    api.jia_barrier()
-    t_fft1 = api.jia_wtime() - t1
+    yield from compute_g(api, 6.0 * (hi - lo) * n2)
+    yield from A.set_g((slice(lo, hi), slice(None), slice(None)),
+                       _to_pairs(rows))
+    yield from api.jia_barrier_g()
+    t_fft1 = (yield from api.jia_wtime_g()) - t1
 
     # ------------------------------------------------- step 3: the transpose
-    t2 = api.jia_wtime()
+    t2 = yield from api.jia_wtime_g()
     t_lo, t_hi = row_block(n2, rank, n_ranks)
     # Every rank gathers its transposed rows from every source block: an
     # all-to-all read pattern through the DSM.
-    gathered = _to_complex(A[:, t_lo:t_hi, :])      # (n1, mycols)
-    B[t_lo:t_hi, :, :] = _to_pairs(gathered.T)
-    api.jia_barrier()
-    t_transpose = api.jia_wtime() - t2
+    gathered = _to_complex(
+        (yield from A.get_g((slice(None), slice(t_lo, t_hi), slice(None)))))
+    yield from B.set_g((slice(t_lo, t_hi), slice(None), slice(None)),
+                       _to_pairs(gathered.T))
+    yield from api.jia_barrier_g()
+    t_transpose = (yield from api.jia_wtime_g()) - t2
 
     # --------------------------------------------------- step 4: column FFTs
-    t3 = api.jia_wtime()
-    cols = _to_complex(B[t_lo:t_hi, :, :])
+    t3 = yield from api.jia_wtime_g()
+    cols = _to_complex(
+        (yield from B.get_g((slice(t_lo, t_hi), slice(None), slice(None)))))
     cols = np.fft.fft(cols, axis=1)
-    compute(api, _fft_flops(t_hi - t_lo, n1))
-    B[t_lo:t_hi, :, :] = _to_pairs(cols)
-    api.jia_barrier()
-    t_fft2 = api.jia_wtime() - t3
-    total = api.jia_wtime() - t0
+    yield from compute_g(api, _fft_flops(t_hi - t_lo, n1))
+    yield from B.set_g((slice(t_lo, t_hi), slice(None), slice(None)),
+                       _to_pairs(cols))
+    yield from api.jia_barrier_g()
+    t_fft2 = (yield from api.jia_wtime_g()) - t3
+    total = (yield from api.jia_wtime_g()) - t0
 
     # ------------------------------------------------------------ verify
     verified = True
     checksum = 0.0
     if verify:
         reference = np.fft.fft(signal).reshape(n1, n2).T  # transposed layout
-        mine = _to_complex(B[t_lo:t_hi, :, :])
+        mine = _to_complex(
+            (yield from B.get_g((slice(t_lo, t_hi), slice(None), slice(None)))))
         verified = bool(np.allclose(mine, reference[t_lo:t_hi, :],
                                     atol=1e-6 * n1 * n2))
         checksum = float(np.abs(reference).sum())
-    api.jia_exit()
+    yield from api.jia_exit_g()
 
     return AppResult(app="fft", rank=rank,
                      phases={"init": t_init, "fft1": t_fft1,

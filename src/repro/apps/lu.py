@@ -22,7 +22,7 @@ from typing import List
 
 import numpy as np
 
-from repro.apps.common import AppResult, compute
+from repro.apps.common import AppResult, compute_g
 from repro.memory.layout import explicit
 
 __all__ = ["run_lu"]
@@ -62,66 +62,66 @@ def _reference_lu(a: np.ndarray, block_rows: int) -> np.ndarray:
 
 def run_lu(api, n: int = 1024, block: int = 64, seed: int = 11,
            verify: bool = True) -> AppResult:
-    rank, n_ranks = api.jia_init()
+    rank, n_ranks = yield from api.jia_init_g()
     page = api.hamster.params.page_size
     homes = _panel_homes(n, block, page, n_ranks)
 
-    t0 = api.jia_wtime()
-    A = api.jia_alloc_array((n, n), np.float64, name="lu.A",
-                            distribution=explicit(homes))
+    t0 = yield from api.jia_wtime_g()
+    A = yield from api.jia_alloc_array_g((n, n), np.float64, name="lu.A",
+                                         distribution=explicit(homes))
     # Diagonally dominant input keeps no-pivot elimination stable.
     rng = np.random.default_rng(seed)
     a_full = rng.random((n, n)) + np.eye(n) * n
 
     # ------------------------------------------------ write-only init (rank 0)
     if rank == 0:
-        A[:, :] = a_full
-    api.jia_barrier()
-    t_init = api.jia_wtime() - t0
+        yield from A.set_g((slice(None), slice(None)), a_full)
+    yield from api.jia_barrier_g()
+    t_init = (yield from api.jia_wtime_g()) - t0
 
     # --------------------------------------------------------------- factor
     n_panels = (n + block - 1) // block
     t_barrier = 0.0
     t_core = 0.0
-    t1 = api.jia_wtime()
+    t1 = yield from api.jia_wtime_g()
     for kp in range(n_panels):
         k0, k1 = kp * block, min((kp + 1) * block, n)
         owner = kp % n_ranks
-        tc = api.jia_wtime()
+        tc = yield from api.jia_wtime_g()
         if rank == owner:
-            panel = A[k0:k1, :]
+            panel = yield from A.get_g((slice(k0, k1), slice(None)))
             for k in range(k0, k1):
                 i = k - k0
                 panel[i + 1:, k] /= panel[i, k]
                 panel[i + 1:, k + 1:] -= np.outer(panel[i + 1:, k], panel[i, k + 1:])
-            A[k0:k1, :] = panel
+            yield from A.set_g((slice(k0, k1), slice(None)), panel)
             rows = k1 - k0
-            compute(api, rows * rows * (n - k0))
-        t_core += api.jia_wtime() - tc
+            yield from compute_g(api, rows * rows * (n - k0))
+        t_core += (yield from api.jia_wtime_g()) - tc
 
-        tb = api.jia_wtime()
-        api.jia_barrier()
-        t_barrier += api.jia_wtime() - tb
+        tb = yield from api.jia_wtime_g()
+        yield from api.jia_barrier_g()
+        t_barrier += (yield from api.jia_wtime_g()) - tb
 
-        tc = api.jia_wtime()
-        piv = A[k0:k1, :]
+        tc = yield from api.jia_wtime_g()
+        piv = yield from A.get_g((slice(k0, k1), slice(None)))
         # Update the panels this rank owns below the pivot block.
         for mp in range(kp + 1, n_panels):
             if mp % n_ranks != rank:
                 continue
             m0, m1 = mp * block, min((mp + 1) * block, n)
-            rows = A[m0:m1, :]
+            rows = yield from A.get_g((slice(m0, m1), slice(None)))
             for k in range(k0, k1):
                 rows[:, k] /= piv[k - k0, k]
                 rows[:, k + 1:] -= np.outer(rows[:, k], piv[k - k0, k + 1:])
-            A[m0:m1, :] = rows
-            compute(api, 2.0 * (m1 - m0) * (k1 - k0) * (n - k0))
-        t_core += api.jia_wtime() - tc
+            yield from A.set_g((slice(m0, m1), slice(None)), rows)
+            yield from compute_g(api, 2.0 * (m1 - m0) * (k1 - k0) * (n - k0))
+        t_core += (yield from api.jia_wtime_g()) - tc
 
-        tb = api.jia_wtime()
-        api.jia_barrier()
-        t_barrier += api.jia_wtime() - tb
-    t_nominit = api.jia_wtime() - t1
+        tb = yield from api.jia_wtime_g()
+        yield from api.jia_barrier_g()
+        t_barrier += (yield from api.jia_wtime_g()) - tb
+    t_nominit = (yield from api.jia_wtime_g()) - t1
     t_all = t_init + t_nominit
 
     # ------------------------------------------------------------ verify
@@ -133,11 +133,12 @@ def run_lu(api, n: int = 1024, block: int = 64, seed: int = 11,
             if mp % n_ranks != rank:
                 continue
             m0, m1 = mp * block, min((mp + 1) * block, n)
-            if not np.allclose(A[m0:m1, :], ref[m0:m1, :], atol=1e-6):
+            mine = yield from A.get_g((slice(m0, m1), slice(None)))
+            if not np.allclose(mine, ref[m0:m1, :], atol=1e-6):
                 verified = False
                 break
         checksum = float(np.abs(ref).sum())
-    api.jia_exit()
+    yield from api.jia_exit_g()
 
     return AppResult(app="lu", rank=rank,
                      phases={"all": t_all, "no_init": t_nominit,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import AppResult, compute, memtouch, row_block
+from repro.apps.common import AppResult, compute_g, memtouch_g, row_block
 from repro.memory.layout import block, cyclic
 
 __all__ = ["run_matmult"]
@@ -29,13 +29,15 @@ MEM_REUSE_BYTES_PER_FLOP = 2.0
 
 def run_matmult(api, n: int = 1024, seed: int = 42, verify: bool = True) -> AppResult:
     """Run the benchmark on the calling rank; returns its :class:`AppResult`."""
-    rank, n_ranks = api.jia_init()
-    t = api.hamster.timing
+    rank, n_ranks = yield from api.jia_init_g()
 
-    t0 = api.jia_wtime()
-    A = api.jia_alloc_array((n, n), np.float64, name="mm.A", distribution=block())
-    B = api.jia_alloc_array((n, n), np.float64, name="mm.B", distribution=cyclic())
-    C = api.jia_alloc_array((n, n), np.float64, name="mm.C", distribution=block())
+    t0 = yield from api.jia_wtime_g()
+    A = yield from api.jia_alloc_array_g((n, n), np.float64, name="mm.A",
+                                         distribution=block())
+    B = yield from api.jia_alloc_array_g((n, n), np.float64, name="mm.B",
+                                         distribution=cyclic())
+    C = yield from api.jia_alloc_array_g((n, n), np.float64, name="mm.C",
+                                         distribution=block())
 
     rng = np.random.default_rng(seed)
     a_full = rng.standard_normal((n, n))
@@ -43,33 +45,33 @@ def run_matmult(api, n: int = 1024, seed: int = 42, verify: bool = True) -> AppR
     lo, hi = row_block(n, rank, n_ranks)
 
     # ------------------------------------------------------------- init
-    A[lo:hi, :] = a_full[lo:hi, :]
+    yield from A.set_g((slice(lo, hi), slice(None)), a_full[lo:hi, :])
     if rank == 0:
-        B[:, :] = b_full
-    api.jia_barrier()
-    t_init = api.jia_wtime() - t0
+        yield from B.set_g((slice(None), slice(None)), b_full)
+    yield from api.jia_barrier_g()
+    t_init = (yield from api.jia_wtime_g()) - t0
 
     # ---------------------------------------------------------- compute
-    t1 = api.jia_wtime()
-    a_block = A[lo:hi, :]
-    b = B[:, :]
+    t1 = yield from api.jia_wtime_g()
+    a_block = yield from A.get_g((slice(lo, hi), slice(None)))
+    b = yield from B.get_g((slice(None), slice(None)))
     c_block = a_block @ b
     flops = 2.0 * (hi - lo) * n * n
-    compute(api, flops)
-    memtouch(api, flops * MEM_REUSE_BYTES_PER_FLOP)
-    C[lo:hi, :] = c_block
-    api.jia_barrier()
-    t_comp = api.jia_wtime() - t1
+    yield from compute_g(api, flops)
+    yield from memtouch_g(api, flops * MEM_REUSE_BYTES_PER_FLOP)
+    yield from C.set_g((slice(lo, hi), slice(None)), c_block)
+    yield from api.jia_barrier_g()
+    t_comp = (yield from api.jia_wtime_g()) - t1
 
     # ------------------------------------------------------------ verify
     verified = True
     checksum = 0.0
     if verify:
-        mine = C[lo:hi, :]
+        mine = yield from C.get_g((slice(lo, hi), slice(None)))
         reference = a_full[lo:hi, :] @ b_full
         verified = bool(np.allclose(mine, reference, atol=1e-8))
         checksum = float(np.abs(a_full @ b_full).sum())  # partition-independent
-    api.jia_exit()
+    yield from api.jia_exit_g()
 
     return AppResult(app="matmult", rank=rank,
                      phases={"init": t_init, "compute": t_comp,

@@ -13,7 +13,7 @@ import math
 
 import numpy as np
 
-from repro.apps.common import AppResult, compute
+from repro.apps.common import AppResult, compute_g
 
 __all__ = ["run_pi"]
 
@@ -21,31 +21,34 @@ PI_LOCK = 3
 
 
 def run_pi(api, intervals: int = 1 << 23, verify: bool = True) -> AppResult:
-    rank, n_ranks = api.jia_init()
+    # Generator body: runs stackless under the generator engine backend and
+    # thread-trampolined under the thread backend (see repro.sim.process).
+    rank, n_ranks = yield from api.jia_init_g()
 
-    t0 = api.jia_wtime()
-    acc = api.jia_alloc_array((1,), np.float64, name="pi.sum")
+    t0 = yield from api.jia_wtime_g()
+    acc = yield from api.jia_alloc_array_g((1,), np.float64, name="pi.sum")
     if rank == 0:
-        acc[0] = 0.0
-    api.jia_barrier()
-    t_init = api.jia_wtime() - t0
+        yield from acc.set_g(0, 0.0)
+    yield from api.jia_barrier_g()
+    t_init = (yield from api.jia_wtime_g()) - t0
 
-    t1 = api.jia_wtime()
+    t1 = yield from api.jia_wtime_g()
     h = 1.0 / intervals
     idx = np.arange(rank, intervals, n_ranks, dtype=np.float64)
     x = h * (idx + 0.5)
     local = float((4.0 / (1.0 + x * x)).sum() * h)
-    compute(api, 6.0 * len(idx))
+    yield from compute_g(api, 6.0 * len(idx))
 
-    api.jia_lock(PI_LOCK)
-    acc[0] = float(acc[0]) + local
-    api.jia_unlock(PI_LOCK)
-    api.jia_barrier()
-    t_comp = api.jia_wtime() - t1
+    yield from api.jia_lock_g(PI_LOCK)
+    current = float((yield from acc.get_g(0)))
+    yield from acc.set_g(0, current + local)
+    yield from api.jia_unlock_g(PI_LOCK)
+    yield from api.jia_barrier_g()
+    t_comp = (yield from api.jia_wtime_g()) - t1
 
-    pi_value = float(acc[0])
+    pi_value = float((yield from acc.get_g(0)))
     verified = (abs(pi_value - math.pi) < 1e-4) if verify else True
-    api.jia_exit()
+    yield from api.jia_exit_g()
 
     return AppResult(app="pi", rank=rank,
                      phases={"init": t_init, "compute": t_comp,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import AppResult, compute, row_block
+from repro.apps.common import AppResult, compute_g, row_block
 from repro.memory.layout import block, cyclic
 
 __all__ = ["run_sor"]
@@ -54,41 +54,43 @@ def _reference(initial: np.ndarray, iterations: int) -> np.ndarray:
 
 def run_sor(api, n: int = 1024, iterations: int = 10, locality: bool = True,
             seed: int = 7, verify: bool = True) -> AppResult:
-    rank, n_ranks = api.jia_init()
+    rank, n_ranks = yield from api.jia_init_g()
     dist = block() if locality else cyclic()
 
-    t0 = api.jia_wtime()
-    G = api.jia_alloc_array((n, n), np.float64, name="sor.grid", distribution=dist)
+    t0 = yield from api.jia_wtime_g()
+    G = yield from api.jia_alloc_array_g((n, n), np.float64, name="sor.grid",
+                                         distribution=dist)
     rng = np.random.default_rng(seed)
     initial = rng.random((n, n))
     lo, hi = row_block(n - 2, rank, n_ranks)
     lo, hi = lo + 1, hi + 1  # interior rows only
-    G[lo:hi, :] = initial[lo:hi, :]
+    yield from G.set_g((slice(lo, hi), slice(None)), initial[lo:hi, :])
     if rank == 0:
-        G[0, :] = initial[0, :]
+        yield from G.set_g((0, slice(None)), initial[0, :])
     if rank == n_ranks - 1:
-        G[n - 1, :] = initial[n - 1, :]
-    api.jia_barrier()
-    t_init = api.jia_wtime() - t0
+        yield from G.set_g((n - 1, slice(None)), initial[n - 1, :])
+    yield from api.jia_barrier_g()
+    t_init = (yield from api.jia_wtime_g()) - t0
 
-    t1 = api.jia_wtime()
+    t1 = yield from api.jia_wtime_g()
     for _ in range(iterations):
         for phase in (0, 1):
-            local = G[lo - 1:hi + 1, :]     # own rows + halo
+            # own rows + halo
+            local = yield from G.get_g((slice(lo - 1, hi + 1), slice(None)))
             _sweep(local, phase, lo, hi, n)
-            G[lo:hi, :] = local[1:-1, :]
-            compute(api, 6.0 * (hi - lo) * (n - 2) / 2)
-            api.jia_barrier()
-    t_comp = api.jia_wtime() - t1
+            yield from G.set_g((slice(lo, hi), slice(None)), local[1:-1, :])
+            yield from compute_g(api, 6.0 * (hi - lo) * (n - 2) / 2)
+            yield from api.jia_barrier_g()
+    t_comp = (yield from api.jia_wtime_g()) - t1
 
     verified = True
     checksum = 0.0
     if verify:
-        mine = G[lo:hi, :]
+        mine = yield from G.get_g((slice(lo, hi), slice(None)))
         ref = _reference(initial, iterations)
         verified = bool(np.allclose(mine, ref[lo:hi, :], atol=1e-10))
         checksum = float(np.abs(ref).sum())  # partition-independent
-    api.jia_exit()
+    yield from api.jia_exit_g()
 
     name = "sor_opt" if locality else "sor"
     return AppResult(app=name, rank=rank,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.common import AppResult, compute, row_block
+from repro.apps.common import AppResult, compute_g, row_block
 from repro.memory.layout import block
 
 __all__ = ["run_water"]
@@ -49,31 +49,31 @@ def _reference(initial: np.ndarray, steps: int) -> np.ndarray:
 
 def run_water(api, molecules: int = 288, steps: int = 2, seed: int = 5,
               verify: bool = True) -> AppResult:
-    rank, n_ranks = api.jia_init()
+    rank, n_ranks = yield from api.jia_init_g()
     n = molecules
 
-    t0 = api.jia_wtime()
-    X = api.jia_alloc_array((n, 3), np.float64, name="water.pos",
-                            distribution=block())
-    F = api.jia_alloc_array((n, 3), np.float64, name="water.frc",
-                            distribution=block())
+    t0 = yield from api.jia_wtime_g()
+    X = yield from api.jia_alloc_array_g((n, 3), np.float64, name="water.pos",
+                                         distribution=block())
+    F = yield from api.jia_alloc_array_g((n, 3), np.float64, name="water.frc",
+                                         distribution=block())
     rng = np.random.default_rng(seed)
     initial = rng.random((n, 3)) * 10.0
     lo, hi = row_block(n, rank, n_ranks)
-    X[lo:hi, :] = initial[lo:hi, :]
+    yield from X.set_g((slice(lo, hi), slice(None)), initial[lo:hi, :])
     if rank == 0:
-        F[:, :] = 0.0
-    api.jia_barrier()
-    t_init = api.jia_wtime() - t0
+        yield from F.set_g((slice(None), slice(None)), 0.0)
+    yield from api.jia_barrier_g()
+    t_init = (yield from api.jia_wtime_g()) - t0
 
-    t1 = api.jia_wtime()
+    t1 = yield from api.jia_wtime_g()
     for _ in range(steps):
-        pos = X[:, :]
+        pos = yield from X.get_g((slice(None), slice(None)))
         local = _pair_forces(pos, lo, hi)
         # WATER evaluates 9 site-pairs (3 atoms x 3 atoms) of LJ + Coulomb
         # terms per molecule pair: ~300 flops per pair on the real kernel.
         pairs = sum(n - i - 1 for i in range(lo, hi))
-        compute(api, 300.0 * pairs)
+        yield from compute_g(api, 300.0 * pairs)
 
         # Accumulate into the shared force array section by section, each
         # guarded by its owner's lock (the WATER lock pattern).
@@ -82,27 +82,31 @@ def run_water(api, molecules: int = 288, steps: int = 2, seed: int = 5,
             contribution = local[s_lo:s_hi, :]
             if not contribution.any():
                 continue
-            api.jia_lock(FORCE_LOCK_BASE + section)
-            F[s_lo:s_hi, :] = F[s_lo:s_hi, :] + contribution
-            api.jia_unlock(FORCE_LOCK_BASE + section)
-        api.jia_barrier()
+            yield from api.jia_lock_g(FORCE_LOCK_BASE + section)
+            current = yield from F.get_g((slice(s_lo, s_hi), slice(None)))
+            yield from F.set_g((slice(s_lo, s_hi), slice(None)),
+                               current + contribution)
+            yield from api.jia_unlock_g(FORCE_LOCK_BASE + section)
+        yield from api.jia_barrier_g()
 
         # Integrate own molecules, then reset own force section.
-        X[lo:hi, :] = X[lo:hi, :] + DT * F[lo:hi, :]
-        compute(api, 6.0 * (hi - lo))
-        api.jia_barrier()
-        F[lo:hi, :] = 0.0
-        api.jia_barrier()
-    t_comp = api.jia_wtime() - t1
+        own = yield from X.get_g((slice(lo, hi), slice(None)))
+        frc = yield from F.get_g((slice(lo, hi), slice(None)))
+        yield from X.set_g((slice(lo, hi), slice(None)), own + DT * frc)
+        yield from compute_g(api, 6.0 * (hi - lo))
+        yield from api.jia_barrier_g()
+        yield from F.set_g((slice(lo, hi), slice(None)), 0.0)
+        yield from api.jia_barrier_g()
+    t_comp = (yield from api.jia_wtime_g()) - t1
 
     verified = True
     checksum = 0.0
     if verify:
         ref = _reference(initial, steps)
-        mine = X[lo:hi, :]
+        mine = yield from X.get_g((slice(lo, hi), slice(None)))
         verified = bool(np.allclose(mine, ref[lo:hi, :], atol=1e-8))
         checksum = float(np.abs(ref).sum())
-    api.jia_exit()
+    yield from api.jia_exit_g()
 
     return AppResult(app=f"water{n}", rank=rank,
                      phases={"init": t_init, "compute": t_comp,

@@ -19,6 +19,10 @@ contract down with golden snapshots:
   queue and once with the calendar queue (``REPRO_ENGINE_QUEUE``), and
   assert the two produce identical records — the differential check that
   needs no stored state.
+* **dual-procs** — the same differential shape over the *process*
+  backends (``REPRO_ENGINE_PROCS``): thread-backed reference processes vs
+  the generator (continuation) scheduler. Any divergence is a missed or
+  misordered yield point in a ``*_g`` kernel.
 
 The trace digest hashes the engine's structured trace stream (kind,
 timestamp, sorted fields). Process ids embedded in ``name#pid`` strings
@@ -30,6 +34,7 @@ Run as a module::
 
     PYTHONPATH=src python -m repro.bench.diffcheck --check
     PYTHONPATH=src python -m repro.bench.diffcheck --dual --only chaos
+    PYTHONPATH=src python -m repro.bench.diffcheck --dual-procs --only PI
     PYTHONPATH=src python -m repro.bench.diffcheck --record   # re-baseline
 
 Re-record only when a change *intends* to alter virtual-time behaviour
@@ -56,7 +61,8 @@ from repro.faults.chaos import run_chaos
 __all__ = ["SCHEMA", "DIFF_SCALE", "GOLDEN_PATH", "FigureScenario",
            "ChaosScenario", "scenarios", "scenario_ids", "stream_digest",
            "capture", "record_goldens", "load_goldens", "check_scenario",
-           "check_goldens", "dual_run", "events_per_sec_gate"]
+           "check_goldens", "dual_run", "dual_procs_run",
+           "events_per_sec_gate"]
 
 SCHEMA = "repro.bench.diffcheck/1"
 
@@ -160,25 +166,35 @@ def stream_digest(events: Iterable[Any]) -> Tuple[str, int]:
 
 
 # ----------------------------------------------------------------- capture
-def _with_queue(queue: Optional[str]):
-    """Context manager pinning ``REPRO_ENGINE_QUEUE`` for one run."""
+def _with_env(var: str, value: Optional[str]):
+    """Context manager pinning one engine-selection env var for one run."""
     import contextlib
 
     @contextlib.contextmanager
     def _cm():
-        if queue is None:
+        if value is None:
             yield
             return
-        prev = os.environ.get("REPRO_ENGINE_QUEUE")
-        os.environ["REPRO_ENGINE_QUEUE"] = queue
+        prev = os.environ.get(var)
+        os.environ[var] = value
         try:
             yield
         finally:
             if prev is None:
-                os.environ.pop("REPRO_ENGINE_QUEUE", None)
+                os.environ.pop(var, None)
             else:
-                os.environ["REPRO_ENGINE_QUEUE"] = prev
+                os.environ[var] = prev
     return _cm()
+
+
+def _with_queue(queue: Optional[str]):
+    """Context manager pinning ``REPRO_ENGINE_QUEUE`` for one run."""
+    return _with_env("REPRO_ENGINE_QUEUE", queue)
+
+
+def _with_procs(procs: Optional[str]):
+    """Context manager pinning ``REPRO_ENGINE_PROCS`` for one run."""
+    return _with_env("REPRO_ENGINE_PROCS", procs)
 
 
 def _capture_figure(sc: FigureScenario, scale: float) -> Dict[str, Any]:
@@ -227,10 +243,12 @@ def _capture_chaos(sc: ChaosScenario, scale: float) -> Dict[str, Any]:
 
 
 def capture(sc: Any, scale: float = DIFF_SCALE,
-            queue: Optional[str] = None) -> Dict[str, Any]:
+            queue: Optional[str] = None,
+            procs: Optional[str] = None) -> Dict[str, Any]:
     """Run one scenario and return its golden record. ``queue`` pins the
-    engine's event-queue implementation (``"heap"`` / ``"calendar"``)."""
-    with _with_queue(queue):
+    engine's event-queue implementation (``"heap"`` / ``"calendar"``);
+    ``procs`` pins the process backend (``"thread"`` / ``"generator"``)."""
+    with _with_queue(queue), _with_procs(procs):
         if isinstance(sc, FigureScenario):
             return _capture_figure(sc, scale)
         return _capture_chaos(sc, scale)
@@ -279,18 +297,20 @@ def diff_records(got: Dict[str, Any],
 
 
 def check_scenario(sc: Any, doc: Dict[str, Any],
-                   queue: Optional[str] = None) -> List[str]:
+                   queue: Optional[str] = None,
+                   procs: Optional[str] = None) -> List[str]:
     """Re-run one scenario against the loaded golden store; returns a list
     of mismatch descriptions (empty = bit-identical)."""
     want = doc["scenarios"].get(sc.id)
     if want is None:
         return [f"{sc.id}: no golden recorded (run --record)"]
-    got = capture(sc, scale=doc["scale"], queue=queue)
+    got = capture(sc, scale=doc["scale"], queue=queue, procs=procs)
     return [f"{sc.id}: {p}" for p in diff_records(got, want)]
 
 
 def check_goldens(path: Path = GOLDEN_PATH, only: Optional[str] = None,
                   queue: Optional[str] = None,
+                  procs: Optional[str] = None,
                   progress: Optional[Any] = None) -> List[str]:
     """Re-run every scenario against the stored goldens. Hard gate: any
     difference — a digest bit, an event count, the last float ulp of a
@@ -302,7 +322,7 @@ def check_goldens(path: Path = GOLDEN_PATH, only: Optional[str] = None,
             continue
         if progress is not None:
             progress(sc.id)
-        problems.extend(check_scenario(sc, doc, queue=queue))
+        problems.extend(check_scenario(sc, doc, queue=queue, procs=procs))
     return problems
 
 
@@ -319,6 +339,24 @@ def dual_run(only: Optional[str] = None,
         ref = capture(sc, queue="heap")
         new = capture(sc, queue="calendar")
         problems.extend(f"{sc.id} (heap vs calendar): {p}"
+                        for p in diff_records(new, ref))
+    return problems
+
+
+def dual_procs_run(only: Optional[str] = None,
+                   progress: Optional[Any] = None) -> List[str]:
+    """Run each scenario under the thread-backed reference processes and
+    the generator (continuation) backend; any divergence — one trace-digest
+    bit, one event count — is a yield-point bug in a ``*_g`` kernel."""
+    problems: List[str] = []
+    for sc in scenarios():
+        if only is not None and only not in sc.id:
+            continue
+        if progress is not None:
+            progress(sc.id)
+        ref = capture(sc, procs="thread")
+        new = capture(sc, procs="generator")
+        problems.extend(f"{sc.id} (thread vs generator): {p}"
                         for p in diff_records(new, ref))
     return problems
 
@@ -372,6 +410,9 @@ def main(argv: List[str]) -> int:
                       help="hard-compare current runs against the goldens")
     mode.add_argument("--dual", action="store_true",
                       help="heapq vs calendar queue differential run")
+    mode.add_argument("--dual-procs", action="store_true",
+                      help="thread vs generator process-backend "
+                           "differential run")
     mode.add_argument("--events-gate", metavar="TELEMETRY_JSON",
                       help="report events/sec vs a baseline store")
     parser.add_argument("--only", metavar="SUBSTR",
@@ -385,6 +426,9 @@ def main(argv: List[str]) -> int:
                         help="fail --events-gate below this geomean ratio")
     parser.add_argument("--queue", choices=("heap", "calendar"), default=None,
                         help="pin the engine queue for --check")
+    parser.add_argument("--procs", choices=("thread", "generator"),
+                        default=None,
+                        help="pin the process backend for --check")
     args = parser.parse_args(argv[1:])
     golden = Path(args.golden)
 
@@ -403,9 +447,11 @@ def main(argv: List[str]) -> int:
         return 0
     if args.dual:
         problems = dual_run(only=args.only, progress=progress)
+    elif args.dual_procs:
+        problems = dual_procs_run(only=args.only, progress=progress)
     else:
         problems = check_goldens(golden, only=args.only, queue=args.queue,
-                                 progress=progress)
+                                 procs=args.procs, progress=progress)
     if problems:
         print(f"\n{len(problems)} mismatch(es):")
         for p in problems:

@@ -27,6 +27,7 @@ virtual clock, so instrumented runs stay bit-identical in simulated time.
 from __future__ import annotations
 
 import cProfile
+import inspect
 import pstats
 import time
 from dataclasses import dataclass, field
@@ -116,19 +117,26 @@ class PhaseWallTimers:
     ``attach(platform)`` wraps, on that platform's live objects:
 
     * ``engine.run``                  -> phase ``event_loop``
-    * ``fabric.layer.post`` / ``rpc`` -> phase ``am_delivery``
-    * ``dsm._access`` / ``lock`` / ``barrier`` -> phase ``dsm_protocol``
+    * ``fabric.layer.post`` / ``rpc`` (and their ``*_g`` generator-kernel
+      twins) -> phase ``am_delivery``
+    * ``dsm._access_g`` / ``lock`` / ``barrier`` (+ ``*_g`` twins)
+      -> phase ``dsm_protocol``
 
+    Generator kernels are wrapped with a generator shim so the timed window
+    spans the kernel's whole drive, not just generator creation — required
+    for stackless processes, whose blocking wrappers are never entered.
     A per-phase reentrancy depth keeps recursive entries (a barrier that
-    triggers further DSM work) from double-counting. ``detach()`` restores
-    every wrapped attribute.
+    triggers further DSM work, or a blocking wrapper driving its own twin)
+    from double-counting. ``detach()`` restores every wrapped attribute.
     """
 
-    #: phase name -> (attribute owner key, method names)
+    #: phase name -> (attribute owner key, method names; missing names are
+    #: skipped so the one layer-stack surface list covers every backend)
     _SITES = {
         "event_loop": ("engine", ("run",)),
-        "am_delivery": ("am_layer", ("post", "rpc")),
-        "dsm_protocol": ("dsm", ("_access", "lock", "barrier")),
+        "am_delivery": ("am_layer", ("post", "rpc", "post_g", "rpc_g")),
+        "dsm_protocol": ("dsm", ("_access_g", "lock", "barrier",
+                                 "lock_g", "barrier_g")),
     }
 
     def __init__(self) -> None:
@@ -143,20 +151,39 @@ class PhaseWallTimers:
         original = getattr(owner, method)
         depth = self._depth
 
-        def timed(*args: Any, **kwargs: Any) -> Any:
-            depth[phase] += 1
-            if depth[phase] > 1:
+        if inspect.isgeneratorfunction(original):
+            # Time the whole drive of the kernel, first entry only; while a
+            # kernel is suspended at a yield the window stays open, so the
+            # phase reads "wall time with >= 1 kernel in flight".
+            def timed(*args: Any, **kwargs: Any) -> Any:
+                depth[phase] += 1
+                if depth[phase] > 1:
+                    try:
+                        return (yield from original(*args, **kwargs))
+                    finally:
+                        depth[phase] -= 1
+                self.entries[phase] += 1
+                t0 = time.perf_counter()
+                try:
+                    return (yield from original(*args, **kwargs))
+                finally:
+                    self.seconds[phase] += time.perf_counter() - t0
+                    depth[phase] -= 1
+        else:
+            def timed(*args: Any, **kwargs: Any) -> Any:
+                depth[phase] += 1
+                if depth[phase] > 1:
+                    try:
+                        return original(*args, **kwargs)
+                    finally:
+                        depth[phase] -= 1
+                self.entries[phase] += 1
+                t0 = time.perf_counter()
                 try:
                     return original(*args, **kwargs)
                 finally:
+                    self.seconds[phase] += time.perf_counter() - t0
                     depth[phase] -= 1
-            self.entries[phase] += 1
-            t0 = time.perf_counter()
-            try:
-                return original(*args, **kwargs)
-            finally:
-                self.seconds[phase] += time.perf_counter() - t0
-                depth[phase] -= 1
 
         self._restore.append((owner, method, original))
         setattr(owner, method, timed)
@@ -176,7 +203,8 @@ class PhaseWallTimers:
             self.entries[phase] = 0
             self._depth[phase] = 0
             for method in methods:
-                self._wrap(owner, method, phase)
+                if hasattr(owner, method):
+                    self._wrap(owner, method, phase)
         self._attached = True
         return self
 

@@ -12,6 +12,7 @@ scale that preserves every qualitative relationship while keeping the
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -84,7 +85,9 @@ def run_app_detailed(config: ClusterConfig, app: str, native: bool = False,
     plat = config.build()
     api = NativeJiaJiaApi(plat.hamster) if native else JiaJiaApi(plat.hamster)
     fn = get_app(app)
-    per_rank = api.run(lambda a: fn(a, **params))
+    # functools.partial (not a lambda) so generator-function app bodies are
+    # detected by the API's isgeneratorfunction dispatch and run stackless.
+    per_rank = api.run(functools.partial(fn, **params))
     merged = merge_rank_results(per_rank)
     if not merged.verified:
         raise AssertionError(

@@ -64,6 +64,7 @@ only-the-config-changes workflow from the shell.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 from typing import Any, Dict, List, Optional
@@ -335,6 +336,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="target path (default: "
                            "benchmarks/baselines/<suite>.json)")
 
+    bscale = bsub.add_parser(
+        "scaling", help="run the node-count scaling curves, record telemetry")
+    bscale.add_argument("--fabric", action="append", choices=("eth", "sci"),
+                        default=None, metavar="FABRIC",
+                        help="fabric curve to run (repeatable; default both)")
+    bscale.add_argument("--max-nodes", type=int, default=256, metavar="N",
+                        help="largest ladder point to include (default 256; "
+                             "use 1024 for the full curve)")
+    bscale.add_argument("--label", default=None, metavar="LABEL",
+                        help="workload label (default PI)")
+    bscale.add_argument("--scale", type=float, default=None,
+                        help="working-set scale (default 0.05)")
+    bscale.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="host-time repeats per point (min-of-N)")
+    bscale.add_argument("--json-out", metavar="FILE",
+                        help="write the telemetry document")
+    bscale.add_argument("--baseline", metavar="FILE",
+                        help="compare against this baseline right after "
+                             "running (exit non-zero on hard regression)")
+
     brep = bsub.add_parser(
         "report", help="render telemetry as markdown or HTML")
     brep.add_argument("--json", required=True, metavar="FILE",
@@ -531,7 +552,7 @@ def _cmd_run(args) -> int:
 
         profiler = HostProfiler()
         timers = PhaseWallTimers().attach(plat)
-    do_run = lambda: api.run(lambda a: fn(a, **params))
+    do_run = lambda: api.run(functools.partial(fn, **params))  # noqa: E731
     per_rank = profiler.run(do_run) if profiler is not None else do_run()
     if timers is not None:
         timers.detach()
@@ -619,7 +640,7 @@ def _cmd_trace(args) -> int:
     plat = config.build()
     api = JiaJiaApi(plat.hamster)
     fn = get_app(args.app)
-    merged = merge_rank_results(api.run(lambda a: fn(a, **params)))
+    merged = merge_rank_results(api.run(functools.partial(fn, **params)))
     print(f"platform : {plat.hamster.platform_description()}")
     print(f"benchmark: {args.app} {params or ''}")
     print(f"verified : {merged.verified}")
@@ -664,7 +685,7 @@ def _cmd_diagnose(args) -> int:
     plat = config.build()
     api = JiaJiaApi(plat.hamster)
     fn = get_app(args.app)
-    merged = merge_rank_results(api.run(lambda a: fn(a, **params)))
+    merged = merge_rank_results(api.run(functools.partial(fn, **params)))
     pname = plat.hamster.platform_description()
     doc = sharing_report(plat.sharing, platform_name=pname,
                          n_ranks=plat.dsm.n_procs,
@@ -803,6 +824,32 @@ def _cmd_bench(args) -> int:
         os.makedirs(os.path.dirname(target) or ".", exist_ok=True)
         write_text(target, telemetry_to_json(doc))
         print(f"baseline : {len(doc['records'])} records written to {target}")
+        return 0
+
+    if args.bench_command == "scaling":
+        from repro.bench.scaling import (DEFAULT_LABEL, DEFAULT_SCALE,
+                                         render_scaling, run_scaling_curves)
+
+        doc = run_scaling_curves(
+            fabrics=tuple(args.fabric) if args.fabric else ("eth", "sci"),
+            max_nodes=args.max_nodes,
+            label=args.label or DEFAULT_LABEL,
+            scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+            repeat=args.repeat,
+            progress=lambda point: print(f"[scaling] {point}"))
+        errors = validate_telemetry(doc)
+        if errors:
+            for err in errors:
+                print(f"schema error: {err}")
+            return 2
+        print()
+        print(render_scaling(doc))
+        if args.json_out:
+            write_text(args.json_out, telemetry_to_json(doc))
+            print(f"telemetry: written to {args.json_out}")
+        if args.baseline:
+            print()
+            return _bench_compare(doc, args.baseline, shape=False)
         return 0
 
     if args.bench_command == "report":

@@ -342,6 +342,27 @@ PRESETS: Dict[str, ClusterConfig] = {
                                      param_overrides={"hamster_fault_hook": 0.0,
                                                       "hamster_sync_hook": 0.0},
                                      name="native-jiajia-4"),
+    # ---------------------------------------------------------- scale axis
+    # Large-cluster presets for the scaling-curve suite (`bench scaling`).
+    # The paper's testbeds stop at 4 nodes; these extrapolate both fabrics
+    # to commodity-cluster sizes. The SCI presets switch the ringlet into
+    # the 2D-torus layout Dolphin used for large installations (width W on
+    # a W*W torus), keeping per-hop latency identical to the small rings.
+    "eth-64": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=64,
+                            name="eth-64"),
+    "eth-256": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=256,
+                             name="eth-256"),
+    "eth-1024": ClusterConfig(platform="beowulf", dsm="jiajia", nodes=1024,
+                              name="eth-1024"),
+    "sci-torus-64": ClusterConfig(platform="sci", dsm="scivm", nodes=64,
+                                  param_overrides={"sci_torus_width": 8},
+                                  name="sci-torus-64"),
+    "sci-torus-256": ClusterConfig(platform="sci", dsm="scivm", nodes=256,
+                                   param_overrides={"sci_torus_width": 16},
+                                   name="sci-torus-256"),
+    "sci-torus-1024": ClusterConfig(platform="sci", dsm="scivm", nodes=1024,
+                                    param_overrides={"sci_torus_width": 32},
+                                    name="sci-torus-1024"),
 }
 
 

@@ -173,18 +173,18 @@ class ContractModel(ConsistencyModel):
         #: scopes whose release must force global visibility
         self.enforce_scopes = enforce_scopes
 
-    def acquire(self, scope: int) -> None:
-        self.dsm.lock(scope)
+    def acquire_g(self, scope: int):
+        return self.dsm.lock_g(scope)
 
-    def release(self, scope: int) -> None:
+    def release_g(self, scope: int):
         if scope in self.enforce_scopes:
             # Cross-scope requirement on a scope-consistent substrate: make
             # the writes globally fetchable before the release is visible.
-            self.dsm.sync_consistency()
-        self.dsm.unlock(scope)
+            yield from self.dsm.sync_consistency_g()
+        yield from self.dsm.unlock_g(scope)
 
-    def fence(self) -> None:
-        self.dsm.sync_consistency()
+    def fence_g(self):
+        return self.dsm.sync_consistency_g()
 
 
 class ConsistencyContract:

@@ -68,7 +68,12 @@ def can_host(substrate_model: str, program_model: str) -> bool:
 
 
 class ConsistencyModel:
-    """Base descriptor + implementation of one consistency model."""
+    """Base descriptor + implementation of one consistency model.
+
+    Blocking operations follow the twin-kernel convention of
+    :mod:`repro.sim.process`: subclasses override the ``*_g`` kernels; the
+    blocking methods trampoline them through :meth:`Engine.kernel`.
+    """
 
     name = "abstract"
 
@@ -81,14 +86,26 @@ class ConsistencyModel:
     # Default implementations: ride the substrate's lock semantics and
     # strengthen with flushes where the lattice says the substrate is weaker.
     def acquire(self, scope: int) -> None:
-        self.dsm.lock(scope)
+        return self.dsm.engine.kernel(self.acquire_g(scope))
+
+    def acquire_g(self, scope: int):
+        """Generator kernel of :meth:`acquire` (``yield from`` it)."""
+        return self.dsm.lock_g(scope)
 
     def release(self, scope: int) -> None:
-        self.dsm.unlock(scope)
+        return self.dsm.engine.kernel(self.release_g(scope))
+
+    def release_g(self, scope: int):
+        """Generator kernel of :meth:`release` (``yield from`` it)."""
+        return self.dsm.unlock_g(scope)
 
     def fence(self) -> None:
         """Full consistency point for this rank."""
-        self.dsm.sync_consistency()
+        return self.dsm.engine.kernel(self.fence_g())
+
+    def fence_g(self):
+        """Generator kernel of :meth:`fence` (``yield from`` it)."""
+        return self.dsm.sync_consistency_g()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} on {self.native}>"
@@ -101,15 +118,15 @@ class SequentialConsistency(ConsistencyModel):
 
     name = "sequential"
 
-    def acquire(self, scope: int) -> None:
-        self.dsm.lock(scope)
+    def acquire_g(self, scope: int):
+        yield from self.dsm.lock_g(scope)
         if not self.free_ride:
-            self.dsm.sync_consistency()
+            yield from self.dsm.sync_consistency_g()
 
-    def release(self, scope: int) -> None:
+    def release_g(self, scope: int):
         if not self.free_ride:
-            self.dsm.sync_consistency()
-        self.dsm.unlock(scope)
+            yield from self.dsm.sync_consistency_g()
+        yield from self.dsm.unlock_g(scope)
 
 
 class ProcessorConsistency(ConsistencyModel):
@@ -118,10 +135,10 @@ class ProcessorConsistency(ConsistencyModel):
 
     name = "processor"
 
-    def release(self, scope: int) -> None:
+    def release_g(self, scope: int):
         if not self.free_ride:
-            self.dsm.sync_consistency()
-        self.dsm.unlock(scope)
+            yield from self.dsm.sync_consistency_g()
+        yield from self.dsm.unlock_g(scope)
 
 
 class ReleaseConsistency(ConsistencyModel):
@@ -132,11 +149,11 @@ class ReleaseConsistency(ConsistencyModel):
 
     name = "release"
 
-    def release(self, scope: int) -> None:
+    def release_g(self, scope: int):
         if not self.free_ride and strength(self.native) < strength("release"):
             # ScC substrate: notices are lock-bound; force global visibility.
-            self.dsm.sync_consistency()
-        self.dsm.unlock(scope)
+            yield from self.dsm.sync_consistency_g()
+        yield from self.dsm.unlock_g(scope)
 
 
 class ScopeConsistency(ConsistencyModel):

@@ -112,9 +112,11 @@ class FailureDetector:
         self._stopped = True
 
     # ------------------------------------------------------------ heartbeat
-    def _sender(self, proc: SimProcess, node_id: int) -> None:
+    def _sender(self, proc: SimProcess, node_id: int):
+        # Generator body: stackless under the generator backend, so a
+        # 1024-node detector costs 1023 frames, not 1023 OS threads.
         while not self._stopped:
-            proc.hold(self.interval)
+            yield self.interval
             if self._stopped:
                 return
             self._beat(node_id)
@@ -232,22 +234,38 @@ class ClusterControl:
     # -------------------------------------------------------------- identity
     def my_node(self) -> int:
         """Cluster node hosting the calling task."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.my_node_g())
+
+    def my_node_g(self):
+        """Generator kernel of :meth:`my_node` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         return self.dsm.node_of(self.dsm.current_rank())
 
     def n_nodes(self) -> int:
-        self._h.charge_call()
+        return self._h.engine.kernel(self.n_nodes_g())
+
+    def n_nodes_g(self):
+        """Generator kernel of :meth:`n_nodes` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         return self.cluster.n_nodes
 
     def n_ranks(self) -> int:
-        self._h.charge_call()
+        return self._h.engine.kernel(self.n_ranks_g())
+
+    def n_ranks_g(self):
+        """Generator kernel of :meth:`n_ranks` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         return self.dsm.n_procs
 
     def node_params(self, node_id: Optional[int] = None) -> Dict[str, Any]:
         """Query a node's parameters (CPU count, clock, interconnect kind)."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.node_params_g(node_id))
+
+    def node_params_g(self, node_id: Optional[int] = None):
+        """Generator kernel of :meth:`node_params` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         if node_id is None:
-            node_id = self.my_node()
+            node_id = yield from self.my_node_g()
         node = self.cluster.node(node_id)
         self.stats.incr("param_queries")
         return {
@@ -298,7 +316,11 @@ class ClusterControl:
 
     def send_msg(self, dst_rank: int, payload: Any, size: int = 64) -> None:
         """External user message to another rank over the unified channel."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.send_msg_g(dst_rank, payload, size))
+
+    def send_msg_g(self, dst_rank: int, payload: Any, size: int = 64):
+        """Generator kernel of :meth:`send_msg` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("user_msgs_sent")
         if not (0 <= dst_rank < self.dsm.n_procs):
             raise MessagingError(f"rank {dst_rank} out of range")
@@ -307,15 +329,20 @@ class ClusterControl:
             # Same node (or no network at all): in-memory delivery.
             self._user_queue(dst_rank).put((src_rank, payload))
             return
-        self._chan.post(self.dsm.node_of(src_rank), self.dsm.node_of(dst_rank),
-                        "usermsg", payload={"dst": dst_rank, "src": src_rank,
-                                            "data": payload}, size=size)
+        yield from self._chan.post_g(
+            self.dsm.node_of(src_rank), self.dsm.node_of(dst_rank),
+            "usermsg", payload={"dst": dst_rank, "src": src_rank,
+                                "data": payload}, size=size)
 
     def recv_msg(self) -> Any:
         """Blocking receive of the next user message: ``(src_rank, payload)``."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.recv_msg_g())
+
+    def recv_msg_g(self):
+        """Generator kernel of :meth:`recv_msg` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("user_msgs_received")
-        return self._user_queue(self.dsm.current_rank()).get()
+        return (yield from self._user_queue(self.dsm.current_rank()).get_g())
 
     def _h_usermsg(self, msg) -> None:
         self._user_queue(msg.payload["dst"]).put(
@@ -326,24 +353,34 @@ class ClusterControl:
     def publish(self, key: str, value: Any) -> None:
         """Publish a key/value pair visible cluster-wide (initialization
         helper — e.g. TreadMarks allocation-data distribution)."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.publish_g(key, value))
+
+    def publish_g(self, key: str, value: Any):
+        """Generator kernel of :meth:`publish` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("registry_puts")
         rank = self.dsm.current_rank()
         if self._chan is None or self.dsm.node_of(rank) == self.dsm.node_of(0):
             self._registry[key] = value
             return
-        self._chan.rpc(self.dsm.node_of(rank), self.dsm.node_of(0), "reg.put",
-                       payload={"key": key, "value": value}, size=64)
+        yield from self._chan.rpc_g(
+            self.dsm.node_of(rank), self.dsm.node_of(0), "reg.put",
+            payload={"key": key, "value": value}, size=64)
 
     def lookup(self, key: str) -> Any:
         """Fetch a published value (raises if missing)."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.lookup_g(key))
+
+    def lookup_g(self, key: str):
+        """Generator kernel of :meth:`lookup` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("registry_gets")
         rank = self.dsm.current_rank()
         if self._chan is None or self.dsm.node_of(rank) == self.dsm.node_of(0):
             return self._lookup_local(key)
-        return self._chan.rpc(self.dsm.node_of(rank), self.dsm.node_of(0),
-                              "reg.get", payload=key, size=32)
+        return (yield from self._chan.rpc_g(
+            self.dsm.node_of(rank), self.dsm.node_of(0),
+            "reg.get", payload=key, size=32))
 
     def _lookup_local(self, key: str) -> Any:
         try:

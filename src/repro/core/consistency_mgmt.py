@@ -65,22 +65,34 @@ class ConsistencyMgmt:
     # ------------------------------------------------------------ operations
     def acquire(self, scope: int) -> None:
         """Enter a consistency scope under the active model."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.acquire_g(scope))
+
+    def acquire_g(self, scope: int):
+        """Generator kernel of :meth:`acquire` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("acquires")
-        self.active().acquire(scope)
+        yield from self.active().acquire_g(scope)
 
     def release(self, scope: int) -> None:
         """Leave a consistency scope under the active model."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.release_g(scope))
+
+    def release_g(self, scope: int):
+        """Generator kernel of :meth:`release` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("releases")
-        self.active().release(scope)
+        yield from self.active().release_g(scope)
 
     def fence(self) -> None:
         """Full consistency point: all of this rank's writes become
         globally fetchable."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.fence_g())
+
+    def fence_g(self):
+        """Generator kernel of :meth:`fence` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("fences")
-        self.active().fence()
+        yield from self.active().fence_g()
 
     def strength_of(self, model_name: str) -> int:
         return strength(model_name)

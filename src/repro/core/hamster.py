@@ -56,13 +56,18 @@ class Hamster:
         Calls made outside any task context (test fixtures, startup code)
         are free — they model the job launcher, not measured execution.
         """
+        return self.engine.kernel(self.charge_call_g())
+
+    def charge_call_g(self):
+        """Generator kernel of :meth:`charge_call` (``yield from`` it)."""
         proc = self.engine.current_process
         if proc is None or self.call_overhead <= 0:
             return
         rank = self.dsm._task_rank.get(proc.pid)
         if rank is None:
             return
-        self.cluster.node(self.dsm.node_of(rank)).cpu_time(self.call_overhead)
+        yield from self.cluster.node(
+            self.dsm.node_of(rank)).cpu_time_g(self.call_overhead)
 
     # ------------------------------------------------------------- startup
     def run_spmd(self, main: Callable, args: tuple = (),

@@ -4,6 +4,12 @@ Services for global allocation and distribution. Users may attach
 distribution annotations and coherence constraints to any allocation; a
 capability test routine probes the underlying shared memory system for the
 coherence schemes and placement policies it supports.
+
+Every service follows the twin-kernel convention of
+:mod:`repro.sim.process`: the ``*_g`` generator kernel holds the logic
+(allocation itself is host-side; only the service-call overhead and the
+collective rendezvous barrier cost virtual time) and the blocking method
+trampolines it through :meth:`Engine.kernel`.
 """
 
 from __future__ import annotations
@@ -44,10 +50,18 @@ class MemoryMgmt:
         :class:`CapabilityError` if the subsystem cannot accommodate it —
         "as long as the subsystem can accommodate the given parameters".
         """
+        return self._h.engine.kernel(
+            self.alloc_g(nbytes, name=name, distribution=distribution,
+                         coherence=coherence))
+
+    def alloc_g(self, nbytes: int, name: str = "",
+                distribution: Optional[Distribution] = None,
+                coherence: Optional[str] = None):
+        """Generator kernel of :meth:`alloc` (``yield from`` it)."""
         with self._h.engine.obs.span("svc.alloc", bytes=nbytes, name=name):
-            self._h.charge_call()
+            yield from self._h.charge_call_g()
             if coherence is not None:
-                self.require(f"consistency:{coherence}")
+                yield from self.require_g(f"consistency:{coherence}")
             region = self.dsm.allocate(nbytes, name=name,
                                        distribution=distribution)
             self.stats.incr("allocations")
@@ -58,10 +72,19 @@ class MemoryMgmt:
                     name: str = "", distribution: Optional[Distribution] = None,
                     coherence: Optional[str] = None) -> SharedArray:
         """Allocate a typed shared array (the common application path)."""
+        return self._h.engine.kernel(
+            self.alloc_array_g(shape, dtype=dtype, name=name,
+                               distribution=distribution, coherence=coherence))
+
+    def alloc_array_g(self, shape: Sequence[int], dtype: Any = np.float64,
+                      name: str = "",
+                      distribution: Optional[Distribution] = None,
+                      coherence: Optional[str] = None):
+        """Generator kernel of :meth:`alloc_array` (``yield from`` it)."""
         with self._h.engine.obs.span("svc.alloc", name=name):
-            self._h.charge_call()
+            yield from self._h.charge_call_g()
             if coherence is not None:
-                self.require(f"consistency:{coherence}")
+                yield from self.require_g(f"consistency:{coherence}")
             arr = self.dsm.make_array(shape, dtype=dtype, name=name,
                                       distribution=distribution)
             self.stats.incr("allocations")
@@ -69,18 +92,22 @@ class MemoryMgmt:
             return arr
 
     # ------------------------------------------------- collective allocation
-    def _collective(self, make) -> Any:
+    def _collective_g(self, make_g):
         """Synchronous allocation involving all ranks (§5.2): every rank
         calls, exactly one allocates, all receive the same object, and the
         rendezvous carries an implicit barrier — the "overhead costs for a
         consistency model that is not always required" the paper contrasts
-        with TreadMarks' single-node allocation."""
+        with TreadMarks' single-node allocation.
+
+        ``make_g`` is a zero-argument callable returning the allocation
+        kernel (a generator) for the rank that ends up allocating.
+        """
         rank = self.dsm.current_rank()
         seq = self._coll_seq.get(rank, 0)
         self._coll_seq[rank] = seq + 1
         if seq not in self._coll_results:
-            self._coll_results[seq] = make()
-        self._h.sync.barrier()
+            self._coll_results[seq] = yield from make_g()
+        yield from self._h.sync.barrier_g()
         return self._coll_results[seq]
 
     def alloc_collective(self, nbytes: int, name: str = "",
@@ -88,23 +115,46 @@ class MemoryMgmt:
                          coherence: Optional[str] = None) -> Region:
         """Collective form of :meth:`alloc` — all ranks call together and
         receive the same region (jia_alloc/HLRC-style global allocation)."""
-        return self._collective(
-            lambda: self.alloc(nbytes, name=name, distribution=distribution,
-                               coherence=coherence))
+        return self._h.engine.kernel(
+            self.alloc_collective_g(nbytes, name=name,
+                                    distribution=distribution,
+                                    coherence=coherence))
+
+    def alloc_collective_g(self, nbytes: int, name: str = "",
+                           distribution: Optional[Distribution] = None,
+                           coherence: Optional[str] = None):
+        """Generator kernel of :meth:`alloc_collective` (``yield from`` it)."""
+        return self._collective_g(
+            lambda: self.alloc_g(nbytes, name=name, distribution=distribution,
+                                 coherence=coherence))
 
     def alloc_array_collective(self, shape: Sequence[int], dtype: Any = np.float64,
                                name: str = "",
                                distribution: Optional[Distribution] = None,
                                coherence: Optional[str] = None) -> SharedArray:
         """Collective form of :meth:`alloc_array`."""
-        return self._collective(
-            lambda: self.alloc_array(shape, dtype=dtype, name=name,
-                                     distribution=distribution,
-                                     coherence=coherence))
+        return self._h.engine.kernel(
+            self.alloc_array_collective_g(shape, dtype=dtype, name=name,
+                                          distribution=distribution,
+                                          coherence=coherence))
+
+    def alloc_array_collective_g(self, shape: Sequence[int],
+                                 dtype: Any = np.float64, name: str = "",
+                                 distribution: Optional[Distribution] = None,
+                                 coherence: Optional[str] = None):
+        """Generator kernel of :meth:`alloc_array_collective`."""
+        return self._collective_g(
+            lambda: self.alloc_array_g(shape, dtype=dtype, name=name,
+                                       distribution=distribution,
+                                       coherence=coherence))
 
     def free(self, target) -> None:
         """Release a :class:`Region` or :class:`SharedArray`."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.free_g(target))
+
+    def free_g(self, target):
+        """Generator kernel of :meth:`free` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         region = target.region if isinstance(target, SharedArray) else target
         self.dsm.free(region)
         self.stats.incr("frees")
@@ -112,15 +162,30 @@ class MemoryMgmt:
     # ---------------------------------------------------------- capability
     def capabilities(self) -> frozenset:
         """Probe the underlying memory subsystem (§4.2 capability test)."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.capabilities_g())
+
+    def capabilities_g(self):
+        """Generator kernel of :meth:`capabilities` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("capability_probes")
         return self.dsm.capabilities()
 
     def supports(self, capability: str) -> bool:
         return capability in self.capabilities()
 
+    def supports_g(self, capability: str):
+        """Generator kernel of :meth:`supports` (``yield from`` it)."""
+        return capability in (yield from self.capabilities_g())
+
     def require(self, capability: str) -> None:
         if not self.supports(capability):
+            raise CapabilityError(
+                f"memory subsystem {self.dsm.kind!r} does not support "
+                f"{capability!r}; available: {sorted(self.dsm.capabilities())}")
+
+    def require_g(self, capability: str):
+        """Generator kernel of :meth:`require` (``yield from`` it)."""
+        if not (yield from self.supports_g(capability)):
             raise CapabilityError(
                 f"memory subsystem {self.dsm.kind!r} does not support "
                 f"{capability!r}; available: {sorted(self.dsm.capabilities())}")

@@ -9,6 +9,11 @@ variables, and counting semaphores.
 Conditions and semaphores are built from HAMSTER primitives (locks + the
 cluster-control messaging), exactly the "implementable on top" layering the
 paper prescribes for model-specific constructs.
+
+Every blocking service follows the twin-kernel convention of
+:mod:`repro.sim.process`: the ``*_g`` generator kernel holds the logic and
+the blocking method trampolines it, so both process backends execute
+identical synchronization sequences.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Dict, List, Optional
 
 from repro.core.monitoring import ModuleStats
 from repro.errors import SynchronizationError
+from repro.sim.process import PARK
 
 __all__ = ["SyncMgmt", "ConditionVar", "Semaphore"]
 
@@ -43,8 +49,12 @@ class ConditionVar:
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Wait for a signal; returns False on timeout, True otherwise."""
+        return self.sync._h.engine.kernel(self.wait_g(timeout))
+
+    def wait_g(self, timeout: Optional[float] = None):
+        """Generator kernel of :meth:`wait` (``yield from`` it)."""
         sync = self.sync
-        sync._h.charge_call()
+        yield from sync._h.charge_call_g()
         sync.stats.incr("cond_waits")
         proc = sync._h.engine.require_process()
         self._waiters.append(proc)
@@ -59,18 +69,26 @@ class ConditionVar:
                     entry.wake()
 
             sync._h.engine.schedule(timeout, fire)
-        sync.unlock(self.lock_id)
-        proc.suspend()
-        sync.lock(self.lock_id)
+        yield from sync.unlock_g(self.lock_id)
+        yield PARK
+        yield from sync.lock_g(self.lock_id)
         return not timed_out[0]
 
     def signal(self) -> None:
-        self.sync._h.charge_call()
+        return self.sync._h.engine.kernel(self.signal_g())
+
+    def signal_g(self):
+        """Generator kernel of :meth:`signal` (``yield from`` it)."""
+        yield from self.sync._h.charge_call_g()
         self.sync.stats.incr("cond_signals")
         self.sync._cond_kick(self, broadcast=False)
 
     def broadcast(self) -> None:
-        self.sync._h.charge_call()
+        return self.sync._h.engine.kernel(self.broadcast_g())
+
+    def broadcast_g(self):
+        """Generator kernel of :meth:`broadcast` (``yield from`` it)."""
+        yield from self.sync._h.charge_call_g()
         self.sync.stats.incr("cond_signals")
         self.sync._cond_kick(self, broadcast=True)
 
@@ -88,22 +106,30 @@ class Semaphore:
         self._cond = sync.new_condition(self._lock_id)
 
     def acquire(self) -> None:
-        self.sync.lock(self._lock_id)
+        return self.sync._h.engine.kernel(self.acquire_g())
+
+    def acquire_g(self):
+        """Generator kernel of :meth:`acquire` (``yield from`` it)."""
+        yield from self.sync.lock_g(self._lock_id)
         try:
             while self.value == 0:
-                self._cond.wait()
+                yield from self._cond.wait_g()
             self.value -= 1
         finally:
-            self.sync.unlock(self._lock_id)
+            yield from self.sync.unlock_g(self._lock_id)
 
     def release(self, n: int = 1) -> None:
-        self.sync.lock(self._lock_id)
+        return self.sync._h.engine.kernel(self.release_g(n))
+
+    def release_g(self, n: int = 1):
+        """Generator kernel of :meth:`release` (``yield from`` it)."""
+        yield from self.sync.lock_g(self._lock_id)
         try:
             self.value += n
             for _ in range(n):
-                self._cond.signal()
+                yield from self._cond.signal_g()
         finally:
-            self.sync.unlock(self._lock_id)
+            yield from self.sync.unlock_g(self._lock_id)
 
 
 class SyncMgmt:
@@ -126,35 +152,47 @@ class SyncMgmt:
 
     def lock(self, lock_id: int) -> None:
         """Acquire a global lock (with the substrate's acquire semantics)."""
+        return self._h.engine.kernel(self.lock_g(lock_id))
+
+    def lock_g(self, lock_id: int):
+        """Generator kernel of :meth:`lock` (``yield from`` it)."""
         engine = self._h.engine
         with engine.obs.span("svc.lock", lock=lock_id):
-            self._h.charge_call()
+            yield from self._h.charge_call_g()
             self.stats.incr("lock_acquires")
             sharing = engine.sharing
             if sharing.enabled:
                 t0 = engine.now
-                self.dsm.lock(lock_id)
+                yield from self.dsm.lock_g(lock_id)
                 rank = self.dsm.current_rank()
                 sharing.lock_acquired(lock_id, rank, t0, engine.now)
                 self._held.setdefault(rank, []).append(lock_id)
             else:
-                self.dsm.lock(lock_id)
+                yield from self.dsm.lock_g(lock_id)
                 self._held.setdefault(self.dsm.current_rank(), []).append(lock_id)
 
     def try_lock(self, lock_id: int) -> bool:
         """Non-blocking lock attempt; True on success."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.try_lock_g(lock_id))
+
+    def try_lock_g(self, lock_id: int):
+        """Generator kernel of :meth:`try_lock` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         self.stats.incr("lock_tries")
-        if self.dsm.try_lock(lock_id):
+        if (yield from self.dsm.try_lock_g(lock_id)):
             self._held.setdefault(self.dsm.current_rank(), []).append(lock_id)
             return True
         return False
 
     def unlock(self, lock_id: int) -> None:
         """Release a global lock (with release consistency semantics)."""
+        return self._h.engine.kernel(self.unlock_g(lock_id))
+
+    def unlock_g(self, lock_id: int):
+        """Generator kernel of :meth:`unlock` (``yield from`` it)."""
         engine = self._h.engine
         with engine.obs.span("svc.unlock", lock=lock_id):
-            self._h.charge_call()
+            yield from self._h.charge_call_g()
             self.stats.incr("lock_releases")
             rank = self.dsm.current_rank()
             held = self._held.get(rank, [])
@@ -162,7 +200,7 @@ class SyncMgmt:
                 raise SynchronizationError(
                     f"rank {rank} releasing lock {lock_id} it does not hold")
             held.remove(lock_id)
-            self.dsm.unlock(lock_id)
+            yield from self.dsm.unlock_g(lock_id)
             if engine.sharing.enabled:
                 # Hold time ends after the release's consistency actions
                 # (flush + manager handoff) — that is what the next waiter
@@ -177,18 +215,22 @@ class SyncMgmt:
     # --------------------------------------------------------------- barrier
     def barrier(self) -> None:
         """Global barrier with barrier consistency."""
+        return self._h.engine.kernel(self.barrier_g())
+
+    def barrier_g(self):
+        """Generator kernel of :meth:`barrier` (``yield from`` it)."""
         engine = self._h.engine
         with engine.obs.span("svc.barrier"):
-            self._h.charge_call()
+            yield from self._h.charge_call_g()
             self.stats.incr("barriers")
             sharing = engine.sharing
             if sharing.enabled:
                 rank = self.dsm.current_rank()
                 t0 = engine.now
-                self.dsm.barrier()
+                yield from self.dsm.barrier_g()
                 sharing.barrier(rank, t0, engine.now)
             else:
-                self.dsm.barrier()
+                yield from self.dsm.barrier_g()
 
     # ------------------------------------------------------------ conditions
     def new_condition(self, lock_id: int) -> ConditionVar:

@@ -7,10 +7,17 @@ to integrate native thread services: local task spawning on a rank, join,
 task identity queries, and task-exit hooks. Thread-API layers (POSIX/Win32
 models) add command *forwarding* on top via the messaging primitives — see
 :mod:`repro.models.forwarding`.
+
+Task bodies may be plain callables (thread-backed under every engine
+backend) or generator functions (stackless under the generator backend,
+thread-trampolined under the thread backend) — both receive identical
+bind/unbind and exit-hook treatment. Blocking services follow the
+twin-kernel convention of :mod:`repro.sim.process`.
 """
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from typing import Any, Callable, Dict, List, Optional
 
@@ -55,12 +62,20 @@ class TaskMgmt:
     # -------------------------------------------------------------- identity
     def my_rank(self) -> int:
         """SPMD rank of the calling task."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.my_rank_g())
+
+    def my_rank_g(self):
+        """Generator kernel of :meth:`my_rank` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         return self.dsm.current_rank()
 
     def n_tasks(self) -> int:
         """Width of the SPMD job."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.n_tasks_g())
+
+    def n_tasks_g(self):
+        """Generator kernel of :meth:`n_tasks` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         return self.dsm.n_procs
 
     def my_task(self) -> Optional[TaskHandle]:
@@ -78,43 +93,70 @@ class TaskMgmt:
         This is the integration point for thread creation: the POSIX/Win32
         model layers forward create-requests to the target rank and call
         this there. The spawn cost of the native OS thread service is
-        charged on the target node.
+        charged on the target node. A generator-function ``fn`` runs
+        stackless under the generator backend.
         """
-        self._h.charge_call()
+        return self._h.engine.kernel(self.spawn_local_g(rank, fn, args, name))
+
+    def spawn_local_g(self, rank: int, fn: Callable, args: tuple = (),
+                      name: str = ""):
+        """Generator kernel of :meth:`spawn_local` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         tid = next(self._tids)
         node = self._h.cluster.node(self.dsm.node_of(rank))
-
-        def body(proc: SimProcess) -> Any:
-            self.dsm.bind_task(proc, rank)
-            try:
-                return fn(*args)
-            finally:
-                self.dsm.unbind_task(proc)
-                handle = self._tasks.get(tid)
-                if handle is not None:
-                    for hook in self._exit_hooks:
-                        hook(handle)
-
-        proc = SimProcess(self._h.engine, body,
-                          name=name or f"task{tid}@r{rank}")
-        handle = TaskHandle(tid, rank, proc)
-        self._tasks[tid] = handle
+        handle = self._make_task(tid, rank, fn, args, name)
         self.stats.incr("tasks_spawned")
         # OS thread-creation cost on the hosting node, charged to the
         # spawning task when one is running (startup spawns are free —
         # they model the job launcher, not application work).
         if self._h.engine.current_process is not None:
-            node.cpu_time(self._h.params.task_spawn_cost)
-        proc.start()
+            yield from node.cpu_time_g(self._h.params.task_spawn_cost)
+        handle.proc.start()
         return handle
+
+    def _make_task(self, tid: int, rank: int, fn: Callable, args: tuple,
+                   name: str) -> TaskHandle:
+        # Both body shapes perform the same bind/unbind + exit-hook
+        # bookkeeping; only the execution style differs (see module docs).
+        if inspect.isgeneratorfunction(fn):
+            def body(proc: SimProcess):
+                self.dsm.bind_task(proc, rank)
+                try:
+                    return (yield from fn(*args))
+                finally:
+                    self._task_exited(proc, tid)
+        else:
+            def body(proc: SimProcess) -> Any:
+                self.dsm.bind_task(proc, rank)
+                try:
+                    return fn(*args)
+                finally:
+                    self._task_exited(proc, tid)
+
+        proc = SimProcess(self._h.engine, body,
+                          name=name or f"task{tid}@r{rank}")
+        handle = TaskHandle(tid, rank, proc)
+        self._tasks[tid] = handle
+        return handle
+
+    def _task_exited(self, proc: SimProcess, tid: int) -> None:
+        self.dsm.unbind_task(proc)
+        handle = self._tasks.get(tid)
+        if handle is not None:
+            for hook in self._exit_hooks:
+                hook(handle)
 
     def join(self, handle_or_tid) -> Any:
         """Wait for a task to finish; returns its result."""
-        self._h.charge_call()
+        return self._h.engine.kernel(self.join_g(handle_or_tid))
+
+    def join_g(self, handle_or_tid):
+        """Generator kernel of :meth:`join` (``yield from`` it)."""
+        yield from self._h.charge_call_g()
         handle = self._resolve(handle_or_tid)
         self.stats.incr("joins")
         me = self._h.engine.require_process()
-        return me.join(handle.proc)
+        return (yield from me.join_g(handle.proc))
 
     def task(self, tid: int) -> TaskHandle:
         return self._resolve(tid)

@@ -4,10 +4,16 @@ Initialization splits into (a) internal initialization of the shared-memory
 model's support mechanisms and (b) external cluster configuration/startup.
 HAMSTER ships reusable templates for both; every programming-model layer's
 ``*_init`` reduces to one of these.
+
+SPMD main functions may be plain callables or generator functions; the
+latter run stackless under the generator process backend (see
+:mod:`repro.sim.process`) and reach blocking services through the
+:class:`SpmdEnv` ``*_g`` shortcuts (``yield from env.barrier_g()``).
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -37,11 +43,23 @@ class SpmdEnv:
     def barrier(self) -> None:
         self.hamster.sync.barrier()
 
+    def barrier_g(self):
+        """Generator kernel of :meth:`barrier` (``yield from`` it)."""
+        return self.hamster.sync.barrier_g()
+
     def lock(self, lock_id: int) -> None:
         self.hamster.sync.lock(lock_id)
 
+    def lock_g(self, lock_id: int):
+        """Generator kernel of :meth:`lock` (``yield from`` it)."""
+        return self.hamster.sync.lock_g(lock_id)
+
     def unlock(self, lock_id: int) -> None:
         self.hamster.sync.unlock(lock_id)
+
+    def unlock_g(self, lock_id: int):
+        """Generator kernel of :meth:`unlock` (``yield from`` it)."""
+        return self.hamster.sync.unlock_g(lock_id)
 
     def alloc_array(self, shape, dtype=float, name: str = "", **kw):
         """Collective allocation: all ranks call together, all receive the
@@ -49,10 +67,20 @@ class SpmdEnv:
         return self.hamster.memory.alloc_array_collective(
             shape, dtype=dtype, name=name, **kw)
 
+    def alloc_array_g(self, shape, dtype=float, name: str = "", **kw):
+        """Generator kernel of :meth:`alloc_array` (``yield from`` it)."""
+        return self.hamster.memory.alloc_array_collective_g(
+            shape, dtype=dtype, name=name, **kw)
+
     def compute(self, flops: float) -> None:
         """Charge application computation on this task's node."""
         node = self.hamster.cluster.node(self.hamster.dsm.node_of(self.rank))
         node.compute(flops)
+
+    def compute_g(self, flops: float):
+        """Generator kernel of :meth:`compute` (``yield from`` it)."""
+        node = self.hamster.cluster.node(self.hamster.dsm.node_of(self.rank))
+        return node.compute_g(flops)
 
     def wtime(self) -> float:
         return self.hamster.timing.wtime()
@@ -73,13 +101,23 @@ def spmd_startup(hamster, main: Callable, args: tuple = (),
             "spmd_startup is the job launcher; call it from outside the "
             "simulation (use TaskMgmt.spawn_local for in-job task creation)")
     rank_list = list(ranks) if ranks is not None else list(range(hamster.n_ranks))
+    main_is_gen = inspect.isgeneratorfunction(main)
     handles = []
     for rank in rank_list:
         def body(env_rank: int = rank):
-            def run(proc: SimProcess) -> Any:
-                hamster.dsm.bind_task(proc, env_rank)
-                env = SpmdEnv(hamster, env_rank, proc)
-                return main(env, *args)
+            # The generator-function variant keeps run() itself a generator
+            # function, so the process runs stackless under the generator
+            # backend (a plain wrapper would force a backing thread).
+            if main_is_gen:
+                def run(proc: SimProcess):
+                    hamster.dsm.bind_task(proc, env_rank)
+                    env = SpmdEnv(hamster, env_rank, proc)
+                    return (yield from main(env, *args))
+            else:
+                def run(proc: SimProcess) -> Any:
+                    hamster.dsm.bind_task(proc, env_rank)
+                    env = SpmdEnv(hamster, env_rank, proc)
+                    return main(env, *args)
             return run
         proc = SimProcess(hamster.engine, body(), name=f"spmd.r{rank}")
         handles.append(proc)

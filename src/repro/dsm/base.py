@@ -174,13 +174,22 @@ class GlobalMemorySystem(ABC):
         return cyclic()
 
     # -------------------------------------------------------------- access
+    # Every blocking operation of the contract is implemented ONCE, as a
+    # generator kernel (the ``*_g`` method) following the yield-point
+    # contract of :mod:`repro.sim.process`. The blocking method is a
+    # one-line trampoline over the kernel, so thread-backed and stackless
+    # processes execute identical protocol code.
     def access_runs(self, region: Region, runs: List[Run], write: bool) -> np.ndarray:
         """Service an access from the *current task* and return the buffer
         holding this rank's view of ``region``.
 
-        Concrete substrates implement :meth:`_access`; this wrapper resolves
-        the rank and maintains the common statistics.
+        Concrete substrates implement :meth:`_access_g`; this wrapper
+        resolves the rank and maintains the common statistics.
         """
+        return self.engine.kernel(self.access_runs_g(region, runs, write))
+
+    def access_runs_g(self, region: Region, runs: List[Run], write: bool):
+        """Generator kernel of :meth:`access_runs` (``yield from`` it)."""
         rank = self.current_rank()
         nbytes = sum(ln for _, ln in runs)
         st = self.rank_stats[rank]
@@ -190,7 +199,38 @@ class GlobalMemorySystem(ABC):
         else:
             st.reads += 1
             st.bytes_read += nbytes
-        return self._access(rank, region, runs, write)
+        return (yield from self._access_g(rank, region, runs, write))
+
+    def lock(self, lock_id: int) -> None:
+        """Acquire global lock ``lock_id`` with the substrate's acquire
+        consistency semantics."""
+        return self.engine.kernel(self.lock_g(lock_id))
+
+    def unlock(self, lock_id: int) -> None:
+        """Release global lock ``lock_id`` with release semantics."""
+        return self.engine.kernel(self.unlock_g(lock_id))
+
+    def try_lock(self, lock_id: int) -> bool:
+        """Non-blocking acquire attempt; True on success (with acquire
+        semantics), False if the lock is held."""
+        return self.engine.kernel(self.try_lock_g(lock_id))
+
+    def barrier(self) -> None:
+        """Global barrier across all ranks, with barrier consistency."""
+        return self.engine.kernel(self.barrier_g())
+
+    def refresh_runs(self, region: Region, runs: List[Run]) -> None:
+        """Drop any stale cached copies of the pages under ``runs`` so the
+        next read observes the home's current data. One-sided (put/get)
+        models need this: a ``get`` must see remote puts without a lock or
+        barrier in between. No-op on substrates without remote caching."""
+        return self.engine.kernel(self.refresh_runs_g(region, runs))
+
+    def sync_consistency(self) -> None:
+        """Make all of the calling rank's writes globally visible (a full
+        flush — the strongest, model-agnostic consistency action).
+        Hardware-coherent substrates make this a no-op."""
+        return self.engine.kernel(self.sync_consistency_g())
 
     # ------------------------------------------------------------ abstract
     @abstractmethod
@@ -202,27 +242,26 @@ class GlobalMemorySystem(ABC):
         """Drop storage/metadata for a freed region."""
 
     @abstractmethod
-    def _access(self, rank: int, region: Region, runs: List[Run],
-                write: bool) -> np.ndarray:
-        """Service the access; returns the rank's view buffer for the region."""
+    def _access_g(self, rank: int, region: Region, runs: List[Run],
+                  write: bool):
+        """Generator kernel servicing the access; returns (via
+        ``StopIteration``) the rank's view buffer for the region."""
 
     @abstractmethod
-    def lock(self, lock_id: int) -> None:
-        """Acquire global lock ``lock_id`` with the substrate's acquire
-        consistency semantics."""
+    def lock_g(self, lock_id: int):
+        """Generator kernel of :meth:`lock`."""
 
     @abstractmethod
-    def unlock(self, lock_id: int) -> None:
-        """Release global lock ``lock_id`` with release semantics."""
+    def unlock_g(self, lock_id: int):
+        """Generator kernel of :meth:`unlock`."""
 
     @abstractmethod
-    def try_lock(self, lock_id: int) -> bool:
-        """Non-blocking acquire attempt; True on success (with acquire
-        semantics), False if the lock is held."""
+    def try_lock_g(self, lock_id: int):
+        """Generator kernel of :meth:`try_lock`."""
 
     @abstractmethod
-    def barrier(self) -> None:
-        """Global barrier across all ranks, with barrier consistency."""
+    def barrier_g(self):
+        """Generator kernel of :meth:`barrier`."""
 
     @abstractmethod
     def consistency_model(self) -> str:
@@ -232,17 +271,16 @@ class GlobalMemorySystem(ABC):
     def capabilities(self) -> frozenset:
         """Feature probe used by the Memory Management module (§4.2)."""
 
-    def refresh_runs(self, region: Region, runs: List[Run]) -> None:
-        """Drop any stale cached copies of the pages under ``runs`` so the
-        next read observes the home's current data. One-sided (put/get)
-        models need this: a ``get`` must see remote puts without a lock or
-        barrier in between. No-op on substrates without remote caching."""
+    def refresh_runs_g(self, region: Region, runs: List[Run]):
+        """Generator kernel of :meth:`refresh_runs` (default: no-op)."""
+        return
+        yield  # unreachable; makes this a generator function
 
     # --------------------------------------------------------- consistency
-    def sync_consistency(self) -> None:
-        """Make all of the calling rank's writes globally visible (a full
-        flush — the strongest, model-agnostic consistency action).
-        Hardware-coherent substrates make this a no-op."""
+    def sync_consistency_g(self):
+        """Generator kernel of :meth:`sync_consistency` (default: no-op)."""
+        return
+        yield  # unreachable; makes this a generator function
 
     # ------------------------------------------------------------ statistics
     def stats(self, rank: Optional[int] = None) -> Dict[str, Any]:

@@ -129,38 +129,40 @@ class CompositeMemorySystem(GlobalMemorySystem):
         child = self._region_child.pop(region.region_id)
         child._teardown_region(region)
 
-    def _access(self, rank: int, region: Region, runs: List[Run],
-                write: bool) -> np.ndarray:
-        return self._owner(region)._access(rank, region, runs, write)
+    def _access_g(self, rank: int, region: Region, runs: List[Run],
+                  write: bool):
+        # Plain delegation: returning the child's generator lets the
+        # caller's ``yield from`` drive it directly.
+        return self._owner(region)._access_g(rank, region, runs, write)
 
-    def refresh_runs(self, region: Region, runs: List[Run]) -> None:
-        self._owner(region).refresh_runs(region, runs)
+    def refresh_runs_g(self, region: Region, runs: List[Run]):
+        return self._owner(region).refresh_runs_g(region, runs)
 
     # ------------------------------------------------------------------ sync
-    def _flush_secondaries(self) -> None:
+    def _flush_secondaries_g(self):
         for key, child in self.children.items():
             if child is not self.primary:
-                child.sync_consistency()
+                yield from child.sync_consistency_g()
 
-    def lock(self, lock_id: int) -> None:
-        self.primary.lock(lock_id)
+    def lock_g(self, lock_id: int):
+        return self.primary.lock_g(lock_id)
 
-    def try_lock(self, lock_id: int) -> bool:
-        return self.primary.try_lock(lock_id)
+    def try_lock_g(self, lock_id: int):
+        return self.primary.try_lock_g(lock_id)
 
-    def unlock(self, lock_id: int) -> None:
+    def unlock_g(self, lock_id: int):
         # Release consistency across ALL systems: secondary writes must be
         # visible before the lock can be observed released.
-        self._flush_secondaries()
-        self.primary.unlock(lock_id)
+        yield from self._flush_secondaries_g()
+        yield from self.primary.unlock_g(lock_id)
 
-    def barrier(self) -> None:
-        self._flush_secondaries()
-        self.primary.barrier()
+    def barrier_g(self):
+        yield from self._flush_secondaries_g()
+        yield from self.primary.barrier_g()
 
-    def sync_consistency(self) -> None:
+    def sync_consistency_g(self):
         for child in self.children.values():
-            child.sync_consistency()
+            yield from child.sync_consistency_g()
 
     # ------------------------------------------------------------ reporting
     def consistency_model(self) -> str:

@@ -49,6 +49,7 @@ from repro.memory.layout import Distribution
 from repro.memory.page import PageState, PageTable
 from repro.msg.active_messages import Reply
 from repro.msg.coalesce import MessagingFabric
+from repro.sim.process import PARK
 
 __all__ = ["JiaJiaSystem"]
 
@@ -193,6 +194,10 @@ class JiaJiaSystem(GlobalMemorySystem):
     def home_of(self, page: int, rank: Optional[int] = None) -> int:
         """Home rank of ``page``; resolves first-touch homes through the
         page's directory rank (page mod n_procs) on first use."""
+        return self.engine.kernel(self.home_of_g(page, rank))
+
+    def home_of_g(self, page: int, rank: Optional[int] = None):
+        """Generator kernel of :meth:`home_of` (``yield from`` it)."""
         h = self._home.get(page)
         if h is not None:
             return h
@@ -209,8 +214,9 @@ class JiaJiaSystem(GlobalMemorySystem):
             self._home[page] = rank
             self._lazy_pages.discard(page)
             return rank
-        h = self.chan.rpc(self.node_of(rank), self.node_of(directory), "gethome",
-                          payload={"page": page, "requester": rank}, size=16)
+        h = yield from self.chan.rpc_g(
+            self.node_of(rank), self.node_of(directory), "gethome",
+            payload={"page": page, "requester": rank}, size=16)
         self._home_cache[rank][page] = h
         return h
 
@@ -224,8 +230,8 @@ class JiaJiaSystem(GlobalMemorySystem):
         return Reply(payload=h, size=8)
 
     # ---------------------------------------------------------------- access
-    def _access(self, rank: int, region: Region, runs: List[Run],
-                write: bool) -> np.ndarray:
+    def _access_g(self, rank: int, region: Region, runs: List[Run],
+                  write: bool):
         node = self.cluster.node(self.node_of(rank))
         pt = self._ptables[rank]
         buf = self._buffer(rank, region)
@@ -253,19 +259,19 @@ class JiaJiaSystem(GlobalMemorySystem):
             # fetch, the fetch's wire transfers and any fault-injected
             # retransmissions all hang below it in the causal tree.
             with obs.span("dsm.fault", rank=rank, page=page, write=write):
-                home = self.home_of(page, rank)
+                home = yield from self.home_of_g(page, rank)
                 state = pt.state(page)
-                node.cpu_time(self.params.fault_handling_cost
-                              + self.params.hamster_fault_hook)
+                yield from node.cpu_time_g(self.params.fault_handling_cost
+                                           + self.params.hamster_fault_hook)
                 if home == rank:
                     # Home pages are served locally; first touch enables them.
                     pt.set_state(page, PageState.READ_WRITE)
                 else:
                     if state is PageState.INVALID:
-                        self._fetch_page(rank, region, page, home)
+                        yield from self._fetch_page_g(rank, region, page, home)
                         state = PageState.READ_ONLY
                     if write:
-                        self._make_twin(rank, region, page)
+                        yield from self._make_twin_g(rank, region, page)
                         pt.set_state(page, PageState.READ_WRITE)
                     else:
                         pt.set_state(page, PageState.READ_ONLY)
@@ -287,22 +293,21 @@ class JiaJiaSystem(GlobalMemorySystem):
                             and pt.state(page) is PageState.READ_WRITE):
                         dirty[page] = region
         nbytes = sum(ln for _, ln in runs)
-        node.mem_touch(nbytes)
+        yield from node.mem_touch_g(nbytes)
         return buf
 
-    def _fetch_page(self, rank: int, region: Region, page: int, home: int) -> None:
+    def _fetch_page_g(self, rank: int, region: Region, page: int, home: int):
         """getpage round trip; copies real home bytes into the local copy."""
         off, length = region.page_extent(page)
         with self.engine.obs.span("dsm.fetch", rank=rank, page=page, home=home):
-            data = self.chan.rpc(self.node_of(rank), self.node_of(home),
-                                 "getpage",
-                                 payload={"page": page,
-                                          "region": region.region_id},
-                                 size=PAGE_WIRE_HEADER)
+            data = yield from self.chan.rpc_g(
+                self.node_of(rank), self.node_of(home), "getpage",
+                payload={"page": page, "region": region.region_id},
+                size=PAGE_WIRE_HEADER)
             buf = self._buffer(rank, region)
             buf[off:off + length] = data
             node = self.cluster.node(self.node_of(rank))
-            node.mem_touch(length)
+            yield from node.mem_touch_g(length)
         st = self.rank_stats[rank]
         st.pages_fetched += 1
         if self.engine.sharing.enabled:
@@ -310,30 +315,30 @@ class JiaJiaSystem(GlobalMemorySystem):
                                       self.engine.now)
         self.engine.trace.emit("jj.fetch", rank=rank, page=page, home=home)
 
-    def _h_getpage(self, msg) -> Reply:
+    def _h_getpage(self, msg):
         page = msg.payload["page"]
         home = self._home[page]
         region = self.space.region_at(page * self.space.page_size)
         off, length = region.page_extent(page)
         buf = self._buffer(home, region)
         node = self.cluster.node(self.node_of(home))
-        node.cpu_time(self.params.page_serve_cost)
-        node.mem_touch(length)
+        yield from node.cpu_time_g(self.params.page_serve_cost)
+        yield from node.mem_touch_g(length)
         return Reply(payload=buf[off:off + length].copy(), size=length + PAGE_WIRE_HEADER)
 
-    def _make_twin(self, rank: int, region: Region, page: int) -> None:
+    def _make_twin_g(self, rank: int, region: Region, page: int):
         if page in self._twins[rank]:
             return
         off, length = region.page_extent(page)
         buf = self._buffer(rank, region)
         self._twins[rank][page] = buf[off:off + length].copy()
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.twin_fixed_cost)
-        node.mem_touch(2 * length)
+        yield from node.cpu_time_g(self.params.twin_fixed_cost)
+        yield from node.mem_touch_g(2 * length)
         self.rank_stats[rank].twins_created += 1
 
     # ----------------------------------------------------------------- flush
-    def _flush(self, rank: int) -> List[WriteNotice]:
+    def _flush_g(self, rank: int):
         """Ship all dirty pages' diffs home (awaited); returns the notices.
 
         This is the eager home-based release of JiaJia: after it returns,
@@ -360,10 +365,10 @@ class JiaJiaSystem(GlobalMemorySystem):
             return []
         with self.engine.obs.span("dsm.flush", rank=rank,
                                   pages=len(dirty) + len(assumed)):
-            return self._flush_dirty(rank, dirty, assumed)
+            return (yield from self._flush_dirty_g(rank, dirty, assumed))
 
-    def _flush_dirty(self, rank: int, dirty: Dict[int, Region],
-                     assumed: Dict[int, int]) -> List[WriteNotice]:
+    def _flush_dirty_g(self, rank: int, dirty: Dict[int, Region],
+                       assumed: Dict[int, int]):
         node = self.cluster.node(self.node_of(rank))
         pt = self._ptables[rank]
         notices: List[WriteNotice] = []
@@ -381,7 +386,7 @@ class JiaJiaSystem(GlobalMemorySystem):
                 pt.set_state(page, PageState.READ_ONLY)
         for page, region in dirty.items():
             notices.append(WriteNotice(page=page, writer=rank))
-            home = self.home_of(page, rank)
+            home = yield from self.home_of_g(page, rank)
             off, length = region.page_extent(page)
             if home == rank:
                 streak[page] = streak.get(page, 0) + 1
@@ -395,8 +400,8 @@ class JiaJiaSystem(GlobalMemorySystem):
                 continue
             twin = self._twins[rank].pop(page)
             buf = self._buffer(rank, region)
-            node.cpu_time(self.params.diff_fixed_cost)
-            node.mem_touch(2 * length)
+            yield from node.cpu_time_g(self.params.diff_fixed_cost)
+            yield from node.mem_touch_g(2 * length)
             diff = make_diff(page, twin, buf[off:off + length])
             st.diffs_created += 1
             st.diff_bytes += diff.changed_bytes
@@ -405,8 +410,9 @@ class JiaJiaSystem(GlobalMemorySystem):
             pt.set_state(page, PageState.READ_ONLY)
         for home, diffs in sorted(by_home.items()):
             size = sum(diff_wire_size(d) for d in diffs)
-            self.chan.rpc(self.node_of(rank), self.node_of(home), "putdiffs",
-                          payload={"diffs": diffs}, size=size)
+            yield from self.chan.rpc_g(
+                self.node_of(rank), self.node_of(home), "putdiffs",
+                payload={"diffs": diffs}, size=size)
         dirty.clear()
         if self.engine.sharing.enabled:
             # Write notices are the protocol's ownership stream: one per
@@ -419,7 +425,7 @@ class JiaJiaSystem(GlobalMemorySystem):
         self._pending[rank].extend(notices)
         return notices
 
-    def _h_putdiffs(self, msg) -> Reply:
+    def _h_putdiffs(self, msg):
         diffs: List[Diff] = msg.payload["diffs"]
         node = None
         for diff in diffs:
@@ -428,13 +434,13 @@ class JiaJiaSystem(GlobalMemorySystem):
             off, length = region.page_extent(diff.page)
             buf = self._buffer(home, region)
             node = self.cluster.node(self.node_of(home))
-            node.cpu_time(self.params.diff_apply_fixed_cost)
+            yield from node.cpu_time_g(self.params.diff_apply_fixed_cost)
             written = apply_diff(buf[off:off + length], diff)
-            node.mem_touch(2 * written)
+            yield from node.mem_touch_g(2 * written)
         return Reply(payload=True, size=8)
 
     # ----------------------------------------------------------- invalidation
-    def _apply_notices(self, rank: int, notices: List[WriteNotice]) -> None:
+    def _apply_notices_g(self, rank: int, notices: List[WriteNotice]):
         pt = self._ptables[rank]
         st = self.rank_stats[rank]
         st.write_notices_received += len(notices)
@@ -446,11 +452,11 @@ class JiaJiaSystem(GlobalMemorySystem):
         node = self.cluster.node(self.node_of(rank))
         # Scanning the notice list is a cheap vectorized pass; the real
         # per-page cost (mprotect) applies only to pages actually present.
-        node.cpu_time(len(notices) * self.params.notice_scan_cost)
+        yield from node.cpu_time_g(len(notices) * self.params.notice_scan_cost)
         if not pages:
             return
         invalidated = pt.invalidate_many(pages)
-        node.cpu_time(invalidated * self.params.write_notice_cost)
+        yield from node.cpu_time_g(invalidated * self.params.write_notice_cost)
         st.pages_invalidated += invalidated
         self.engine.trace.emit("jj.invalidate", rank=rank, pages=invalidated)
 
@@ -463,10 +469,10 @@ class JiaJiaSystem(GlobalMemorySystem):
             self._locks[lock_id] = _LockState()
         return self._locks[lock_id]
 
-    def lock(self, lock_id: int) -> None:
+    def lock_g(self, lock_id: int):
         rank = self.current_rank()
         with self.engine.obs.span("dsm.lock", rank=rank, lock=lock_id):
-            self.cluster.node(self.node_of(rank)).cpu_time(
+            yield from self.cluster.node(self.node_of(rank)).cpu_time_g(
                 self.params.hamster_sync_hook)
             st = self.rank_stats[rank]
             st.lock_acquires += 1
@@ -475,21 +481,21 @@ class JiaJiaSystem(GlobalMemorySystem):
             cursor_key = lock_id if self.scope_consistency else -1
             cursor = self._cursors[rank].get(cursor_key, 0)
             if manager == rank:
-                notices, seq = self._local_lock_acquire(lock_id, rank, cursor)
+                notices, seq = yield from self._local_lock_acquire_g(
+                    lock_id, rank, cursor)
             else:
-                result = self.chan.rpc(self.node_of(rank),
-                                       self.node_of(manager), "lock.acq",
-                                       payload={"lock": lock_id, "rank": rank,
-                                                "cursor": cursor}, size=24)
+                result = yield from self.chan.rpc_g(
+                    self.node_of(rank), self.node_of(manager), "lock.acq",
+                    payload={"lock": lock_id, "rank": rank,
+                             "cursor": cursor}, size=24)
                 notices, seq = result["notices"], result["seq"]
             self._cursors[rank][cursor_key] = seq
-            self._apply_notices(rank, notices)
+            yield from self._apply_notices_g(rank, notices)
             st.lock_wait_time += self.engine.now - t0
 
-    def _local_lock_acquire(self, lock_id: int, rank: int,
-                            cursor: int) -> Tuple[List[WriteNotice], int]:
+    def _local_lock_acquire_g(self, lock_id: int, rank: int, cursor: int):
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.os_sync_cost)
+        yield from node.cpu_time_g(self.params.os_sync_cost)
         ls = self._lock_state(lock_id)
         if ls.holder is None:
             ls.holder = rank
@@ -498,7 +504,7 @@ class JiaJiaSystem(GlobalMemorySystem):
         ls.queue.append(waiter)
         with self.engine.obs.span("dsm.wait", rank=rank, lock=lock_id):
             while not waiter.granted:
-                waiter.proc.suspend()
+                yield PARK
         return waiter.notices, waiter.seq
 
     def _notices_for(self, ls: _LockState, cursor: int) -> Tuple[List[WriteNotice], int]:
@@ -508,7 +514,7 @@ class JiaJiaSystem(GlobalMemorySystem):
         # release consistency approximation) — see _global_log.
         return self._global_log.since(cursor)
 
-    def try_lock(self, lock_id: int) -> bool:
+    def try_lock_g(self, lock_id: int):
         """Non-blocking acquire: one round trip to the manager either way."""
         rank = self.current_rank()
         manager = self._manager_of(lock_id)
@@ -516,22 +522,22 @@ class JiaJiaSystem(GlobalMemorySystem):
         cursor = self._cursors[rank].get(cursor_key, 0)
         if manager == rank:
             node = self.cluster.node(self.node_of(rank))
-            node.cpu_time(self.params.os_sync_cost)
+            yield from node.cpu_time_g(self.params.os_sync_cost)
             ls = self._lock_state(lock_id)
             if ls.holder is not None:
                 return False
             ls.holder = rank
             notices, seq = self._notices_for(ls, cursor)
         else:
-            result = self.chan.rpc(self.node_of(rank), self.node_of(manager),
-                                   "lock.tryacq",
-                                   payload={"lock": lock_id, "rank": rank,
-                                            "cursor": cursor}, size=24)
+            result = yield from self.chan.rpc_g(
+                self.node_of(rank), self.node_of(manager), "lock.tryacq",
+                payload={"lock": lock_id, "rank": rank,
+                         "cursor": cursor}, size=24)
             if not result["granted"]:
                 return False
             notices, seq = result["notices"], result["seq"]
         self._cursors[rank][cursor_key] = seq
-        self._apply_notices(rank, notices)
+        yield from self._apply_notices_g(rank, notices)
         self.rank_stats[rank].lock_acquires += 1
         return True
 
@@ -557,39 +563,39 @@ class JiaJiaSystem(GlobalMemorySystem):
         ls.queue.append(msg)
         return None  # deferred grant
 
-    def unlock(self, lock_id: int) -> None:
+    def unlock_g(self, lock_id: int):
         rank = self.current_rank()
         with self.engine.obs.span("dsm.unlock", rank=rank, lock=lock_id):
-            self.cluster.node(self.node_of(rank)).cpu_time(
+            yield from self.cluster.node(self.node_of(rank)).cpu_time_g(
                 self.params.hamster_sync_hook)
             self.rank_stats[rank].lock_releases += 1
-            self._flush(rank)
+            yield from self._flush_g(rank)
             # Bind every notice since the last release to this lock's scope
             # (covers writes flushed early by explicit fences).
             notices, self._pending[rank] = self._pending[rank], []
             manager = self._manager_of(lock_id)
             if manager == rank:
-                self._local_lock_release(lock_id, rank, notices)
+                yield from self._local_lock_release_g(lock_id, rank, notices)
             else:
-                self.chan.post(self.node_of(rank), self.node_of(manager),
-                               "lock.rel",
-                               payload={"lock": lock_id, "rank": rank,
-                                        "notices": notices},
-                               size=16 + len(notices) * NOTICE_WIRE_BYTES)
+                yield from self.chan.post_g(
+                    self.node_of(rank), self.node_of(manager), "lock.rel",
+                    payload={"lock": lock_id, "rank": rank,
+                             "notices": notices},
+                    size=16 + len(notices) * NOTICE_WIRE_BYTES)
 
-    def _local_lock_release(self, lock_id: int, rank: int,
-                            notices: List[WriteNotice]) -> None:
+    def _local_lock_release_g(self, lock_id: int, rank: int,
+                              notices: List[WriteNotice]):
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.os_sync_cost)
-        self._do_release(lock_id, rank, notices)
+        yield from node.cpu_time_g(self.params.os_sync_cost)
+        yield from self._do_release_g(lock_id, rank, notices)
 
-    def _h_lock_rel(self, msg) -> None:
-        self._do_release(msg.payload["lock"], msg.payload["rank"],
-                         msg.payload["notices"])
+    def _h_lock_rel(self, msg):
+        yield from self._do_release_g(msg.payload["lock"], msg.payload["rank"],
+                                      msg.payload["notices"])
         return None
 
-    def _do_release(self, lock_id: int, rank: int,
-                    notices: List[WriteNotice]) -> None:
+    def _do_release_g(self, lock_id: int, rank: int,
+                      notices: List[WriteNotice]):
         ls = self._lock_state(lock_id)
         if ls.holder != rank:
             raise SynchronizationError(
@@ -607,8 +613,9 @@ class JiaJiaSystem(GlobalMemorySystem):
             else:  # deferred remote request Message
                 ls.holder = nxt.payload["rank"]
                 notices2, seq = self._notices_for(ls, nxt.payload["cursor"])
-                self.chan.reply(nxt, payload={"notices": notices2, "seq": seq},
-                                size=16 + len(notices2) * NOTICE_WIRE_BYTES)
+                yield from self.chan.reply_g(
+                    nxt, payload={"notices": notices2, "seq": seq},
+                    size=16 + len(notices2) * NOTICE_WIRE_BYTES)
         else:
             ls.holder = None
 
@@ -622,56 +629,55 @@ class JiaJiaSystem(GlobalMemorySystem):
         return log
 
     # --------------------------------------------------------------- barrier
-    def barrier(self) -> None:
+    def barrier_g(self):
         rank = self.current_rank()
         with self.engine.obs.span("dsm.barrier", rank=rank):
-            self.cluster.node(self.node_of(rank)).cpu_time(
+            yield from self.cluster.node(self.node_of(rank)).cpu_time_g(
                 self.params.hamster_sync_hook)
             st = self.rank_stats[rank]
             st.barriers += 1
             t0 = self.engine.now
-            self._flush(rank)
+            yield from self._flush_g(rank)
             self._pending[rank] = []  # the barrier globalizes all below
             history, self._history[rank] = self._history[rank], []
             if rank == 0:
-                self._local_barrier_arrive(rank, history)
+                yield from self._local_barrier_arrive_g(rank, history)
             else:
-                merged = self.chan.rpc(self.node_of(rank), self.node_of(0),
-                                       "barrier.arrive",
-                                       payload={"rank": rank,
-                                                "notices": history},
-                                       size=16 + len(history) * NOTICE_WIRE_BYTES)
-                self._apply_notices(rank, merged)
+                merged = yield from self.chan.rpc_g(
+                    self.node_of(rank), self.node_of(0), "barrier.arrive",
+                    payload={"rank": rank, "notices": history},
+                    size=16 + len(history) * NOTICE_WIRE_BYTES)
+                yield from self._apply_notices_g(rank, merged)
             st.barrier_wait_time += self.engine.now - t0
 
-    def _local_barrier_arrive(self, rank: int, history: List[WriteNotice]) -> None:
+    def _local_barrier_arrive_g(self, rank: int, history: List[WriteNotice]):
         proc = self.engine.require_process()
         waiter = _LocalWaiter(proc, rank, 0)
         self._barrier_notices.extend(history)
         self._barrier_round.append(waiter)
         if len(self._barrier_round) == self.n_procs:
-            self._barrier_complete()
+            yield from self._barrier_complete_g()
         else:
             with self.engine.obs.span("dsm.wait", rank=rank, barrier=True):
                 while not waiter.granted:
-                    proc.suspend()
-        self._apply_notices(rank, waiter.notices)
+                    yield PARK
+        yield from self._apply_notices_g(rank, waiter.notices)
 
-    def _h_barrier_arrive(self, msg) -> Optional[Reply]:
+    def _h_barrier_arrive(self, msg):
         self._barrier_notices.extend(msg.payload["notices"])
         self._barrier_round.append(msg)
         if len(self._barrier_round) == self.n_procs:
-            self._barrier_complete()
-        return None  # replies sent by _barrier_complete
+            yield from self._barrier_complete_g()
+        return None  # replies sent by _barrier_complete_g
 
-    def _barrier_complete(self) -> None:
+    def _barrier_complete_g(self):
         merged = self._barrier_notices
         arrivals = self._barrier_round
         self._barrier_notices = []
         self._barrier_round = []
         self._barrier_generation += 1
         node0 = self.cluster.node(self.node_of(0))
-        node0.cpu_time(len(merged) * self.params.notice_scan_cost)
+        yield from node0.cpu_time_g(len(merged) * self.params.notice_scan_cost)
         size = 16 + len(merged) * NOTICE_WIRE_BYTES
         for arrival in arrivals:
             if isinstance(arrival, _LocalWaiter):
@@ -680,26 +686,29 @@ class JiaJiaSystem(GlobalMemorySystem):
                 if arrival.proc is not self.engine.current_process:
                     arrival.proc.wake()
             else:
-                self.chan.reply(arrival, payload=merged, size=size)
+                yield from self.chan.reply_g(arrival, payload=merged, size=size)
 
-    def refresh_runs(self, region: Region, runs: List[Run]) -> None:
+    def refresh_runs_g(self, region: Region, runs: List[Run]):
         """Invalidate the calling rank's cached (non-home, non-dirty) copies
         of the touched pages so the next read refetches from the homes."""
         rank = self.current_rank()
         pt = self._ptables[rank]
         dirty = self._dirty[rank]
         node = self.cluster.node(self.node_of(rank))
-        pages = [p for p in self._pages_touched(region, runs)
-                 if self.home_of(p, rank) != rank and p not in dirty]
+        pages = []
+        for p in self._pages_touched(region, runs):
+            home = yield from self.home_of_g(p, rank)
+            if home != rank and p not in dirty:
+                pages.append(p)
         if pages:
-            node.cpu_time(len(pages) * self.params.write_notice_cost)
+            yield from node.cpu_time_g(len(pages) * self.params.write_notice_cost)
             self.rank_stats[rank].pages_invalidated += pt.invalidate_many(pages)
 
     # ------------------------------------------------------------ consistency
-    def sync_consistency(self) -> None:
+    def sync_consistency_g(self):
         """Flush this rank's writes home (used by the consistency API and by
         one-sided models); notices stay in the history for the next barrier."""
-        self._flush(self.current_rank())
+        yield from self._flush_g(self.current_rank())
 
     def consistency_model(self) -> str:
         return "scope" if self.scope_consistency else "release"

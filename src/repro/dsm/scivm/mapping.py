@@ -41,6 +41,10 @@ class RemoteMapper:
     def ensure_mapped(self, page: int) -> bool:
         """Map ``page`` if needed; returns True when a new mapping was
         created (and its kernel cost charged)."""
+        return self.sci.engine.kernel(self.ensure_mapped_g(page))
+
+    def ensure_mapped_g(self, page: int):
+        """Generator kernel of :meth:`ensure_mapped` (``yield from`` it)."""
         if page in self._mapped:
             return False
         if len(self._mapped) >= self.att_entries:
@@ -48,7 +52,7 @@ class RemoteMapper:
             self.evictions += 1
         self._mapped[page] = True
         self.maps += 1
-        self.sci.map_pages(1)
+        yield from self.sci.map_pages_g(1)
         return True
 
     def unmap(self, page: int) -> None:

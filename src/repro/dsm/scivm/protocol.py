@@ -91,8 +91,8 @@ class SciVmSystem(GlobalMemorySystem):
         return rank
 
     # ---------------------------------------------------------------- access
-    def _access(self, rank: int, region: Region, runs: List[Run],
-                write: bool) -> np.ndarray:
+    def _access_g(self, rank: int, region: Region, runs: List[Run],
+                  write: bool):
         node = self.cluster.node(self.node_of(rank))
         mapper = self._mappers[rank]
         st = self.rank_stats[rank]
@@ -121,22 +121,22 @@ class SciVmSystem(GlobalMemorySystem):
                 if home == rank:
                     local_bytes += chunk
                 else:
-                    if mapper.ensure_mapped(page):
+                    if (yield from mapper.ensure_mapped_g(page)):
                         st.pages_mapped += 1
                     if write:
                         st.remote_writes += 1
-                        self.sci.remote_write(chunk, src=src_node,
-                                              dst=placement[home])
+                        yield from self.sci.remote_write_g(
+                            chunk, src=src_node, dst=placement[home])
                     else:
                         st.remote_reads += 1
-                        self.sci.remote_read(chunk, src=src_node,
-                                             dst=placement[home])
+                        yield from self.sci.remote_read_g(
+                            chunk, src=src_node, dst=placement[home])
                     if sharing.enabled:
                         sharing.remote(rank, page, home, write, chunk,
                                        self.engine.now)
                 gaddr += chunk
         if local_bytes:
-            node.mem_touch(local_bytes)
+            yield from node.mem_touch_g(local_bytes)
         return self._buffers[region.region_id]
 
     # ------------------------------------------------------------------ sync
@@ -145,7 +145,7 @@ class SciVmSystem(GlobalMemorySystem):
             self._locks[lock_id] = SimLock(self.engine, name=f"scivm.lock{lock_id}")
         return self._locks[lock_id]
 
-    def lock(self, lock_id: int) -> None:
+    def lock_g(self, lock_id: int):
         rank = self.current_rank()
         st = self.rank_stats[rank]
         st.lock_acquires += 1
@@ -154,47 +154,49 @@ class SciVmSystem(GlobalMemorySystem):
         # node; contended waiters poll the grant word (one more read when
         # woken).
         manager_node = self.node_of(lock_id % self.n_procs)
-        self.sci.remote_atomic(src=self.node_of(rank), dst=manager_node)
+        yield from self.sci.remote_atomic_g(src=self.node_of(rank),
+                                            dst=manager_node)
         lk = self._lock_for(lock_id)
         contended = lk.locked
-        lk.acquire()
+        yield from lk.acquire_g()
         if contended:
-            self.sci.remote_read(8)
+            yield from self.sci.remote_read_g(8)
         st.lock_wait_time += self.engine.now - t0
 
-    def try_lock(self, lock_id: int) -> bool:
+    def try_lock_g(self, lock_id: int):
         rank = self.current_rank()
-        self.sci.remote_atomic()  # one compare&swap transaction either way
+        # One compare&swap transaction either way.
+        yield from self.sci.remote_atomic_g()
         lk = self._lock_for(lock_id)
         if lk.locked:
             return False
-        lk.acquire()
+        yield from lk.acquire_g()
         self.rank_stats[rank].lock_acquires += 1
         return True
 
-    def unlock(self, lock_id: int) -> None:
+    def unlock_g(self, lock_id: int):
         rank = self.current_rank()
         self.rank_stats[rank].lock_releases += 1
         # Release consistency: drain the posted-write buffer, then release.
-        self.sci.flush_write_buffer()
-        self.sci.remote_atomic()
+        yield from self.sci.flush_write_buffer_g()
+        yield from self.sci.remote_atomic_g()
         self._lock_for(lock_id).release()
 
-    def barrier(self) -> None:
+    def barrier_g(self):
         rank = self.current_rank()
         st = self.rank_stats[rank]
         st.barriers += 1
         t0 = self.engine.now
-        self.sci.flush_write_buffer()
-        self.sci.remote_atomic(src=self.node_of(rank),
-                               dst=self.node_of(0))  # arrival fetch&inc
-        self._barrier.wait()
-        self.sci.remote_read(8)        # observe the release word
+        yield from self.sci.flush_write_buffer_g()
+        yield from self.sci.remote_atomic_g(src=self.node_of(rank),
+                                            dst=self.node_of(0))  # arrival fetch&inc
+        yield from self._barrier.wait_g()
+        yield from self.sci.remote_read_g(8)   # observe the release word
         st.barrier_wait_time += self.engine.now - t0
 
     # ------------------------------------------------------------ consistency
-    def sync_consistency(self) -> None:
-        self.sci.flush_write_buffer()
+    def sync_consistency_g(self):
+        yield from self.sci.flush_write_buffer_g()
 
     def consistency_model(self) -> str:
         return "release"

@@ -61,14 +61,14 @@ class SmpMemorySystem(GlobalMemorySystem):
         self._buffers.pop(region.region_id, None)
 
     # --------------------------------------------------------------- access
-    def _access(self, rank: int, region: Region, runs: List[Run],
-                write: bool) -> np.ndarray:
+    def _access_g(self, rank: int, region: Region, runs: List[Run],
+                  write: bool):
         # UMA is the degenerate span case: every access is one local span
         # with no protection states to expand at, so the whole run list
         # collapses to a single bulk bus charge.
         node = self.cluster.node(self.node_of(rank))
         nbytes = sum(ln for _, ln in runs)
-        node.mem_touch(nbytes)  # serialized on the shared bus
+        yield from node.mem_touch_g(nbytes)  # serialized on the shared bus
         if self.engine.sharing.enabled:
             # No protocol events on UMA (hardware coherence), but per-page
             # access counts and write ranges still locate bus hot spots.
@@ -81,42 +81,42 @@ class SmpMemorySystem(GlobalMemorySystem):
             self._locks[lock_id] = SimLock(self.engine, name=f"smp.lock{lock_id}")
         return self._locks[lock_id]
 
-    def lock(self, lock_id: int) -> None:
+    def lock_g(self, lock_id: int):
         rank = self.current_rank()
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.os_sync_cost)
+        yield from node.cpu_time_g(self.params.os_sync_cost)
         t0 = self.engine.now
-        self._lock_for(lock_id).acquire()
+        yield from self._lock_for(lock_id).acquire_g()
         st = self.rank_stats[rank]
         st.lock_acquires += 1
         st.lock_wait_time += self.engine.now - t0
 
-    def try_lock(self, lock_id: int) -> bool:
+    def try_lock_g(self, lock_id: int):
         rank = self.current_rank()
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.os_sync_cost)
+        yield from node.cpu_time_g(self.params.os_sync_cost)
         lk = self._lock_for(lock_id)
         if lk.locked:
             return False
-        lk.acquire()
+        yield from lk.acquire_g()
         self.rank_stats[rank].lock_acquires += 1
         return True
 
-    def unlock(self, lock_id: int) -> None:
+    def unlock_g(self, lock_id: int):
         rank = self.current_rank()
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.os_sync_cost)
+        yield from node.cpu_time_g(self.params.os_sync_cost)
         self._lock_for(lock_id).release()
         self.rank_stats[rank].lock_releases += 1
 
-    def barrier(self) -> None:
+    def barrier_g(self):
         rank = self.current_rank()
         node = self.cluster.node(self.node_of(rank))
-        node.cpu_time(self.params.os_sync_cost)
+        yield from node.cpu_time_g(self.params.os_sync_cost)
         st = self.rank_stats[rank]
         st.barriers += 1
         t0 = self.engine.now
-        self._barrier.wait()
+        yield from self._barrier.wait_g()
         st.barrier_wait_time += self.engine.now - t0
 
     def home_of(self, page: int, rank: Optional[int] = None) -> int:
@@ -138,7 +138,5 @@ class SmpMemorySystem(GlobalMemorySystem):
             "native_threads",
         })
 
-    def sync_consistency(self) -> None:
-        # Hardware keeps caches coherent; a memory fence is ~free at this
-        # cost-model granularity.
-        return None
+    # sync_consistency: hardware keeps caches coherent; a memory fence is
+    # ~free at this cost-model granularity — the base no-op kernel applies.

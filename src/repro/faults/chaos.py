@@ -18,6 +18,7 @@ statistics, and event trace.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
@@ -114,7 +115,7 @@ def run_chaos(config: Union[str, ClusterConfig], app: str = "sor",
     result = ChaosResult(app=app, platform=cfg.name or cfg.platform,
                          outcome="completed", built=plat)
     try:
-        merged = merge_rank_results(api.run(lambda a: fn(a, **params)))
+        merged = merge_rank_results(api.run(functools.partial(fn, **params)))
         result.verified = merged.verified
         result.checksum = merged.checksum
         result.phases = dict(merged.phases)

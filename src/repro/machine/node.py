@@ -53,6 +53,11 @@ class Node:
         return f"<Node {self.node_id} cpus={self.n_cpus}>"
 
     # -------------------------------------------------------------- charges
+    # Each charging primitive has a blocking form (thread-backed callers)
+    # and a ``*_g`` generator twin (stackless callers ``yield from`` it).
+    # Both account identically and charge the same hold duration; they are
+    # kept as thin dual implementations rather than kernel() wrappers
+    # because these are the hottest call sites in the simulator.
     def compute(self, flops: float) -> None:
         """Charge the calling process for ``flops`` floating-point operations."""
         if flops <= 0:
@@ -61,6 +66,14 @@ class Node:
         self.compute_time += t
         self.engine.require_process().hold(t)
 
+    def compute_g(self, flops: float):
+        """Stackless twin of :meth:`compute`."""
+        if flops <= 0:
+            return
+        t = flops * self._sec_per_flop
+        self.compute_time += t
+        yield t
+
     def cpu_time(self, seconds: float) -> None:
         """Charge raw CPU seconds (software overheads)."""
         if seconds <= 0:
@@ -68,10 +81,25 @@ class Node:
         self.compute_time += seconds
         self.engine.require_process().hold(seconds)
 
+    def cpu_time_g(self, seconds: float):
+        """Stackless twin of :meth:`cpu_time`."""
+        if seconds <= 0:
+            return
+        self.compute_time += seconds
+        yield seconds
+
     def cpu_cycles(self, cycles: float) -> None:
         """Charge CPU cycles at the node clock rate."""
         self.cpu_time(cycles / self.params.cpu_hz)
 
+    def cpu_cycles_g(self, cycles: float):
+        """Stackless twin of :meth:`cpu_cycles`."""
+        return self.cpu_time_g(cycles / self.params.cpu_hz)
+
     def mem_touch(self, nbytes: int) -> None:
         """Charge bulk memory traffic through this node's (shared) bus."""
         self.bus.touch(nbytes)
+
+    def mem_touch_g(self, nbytes: int):
+        """Stackless twin of :meth:`mem_touch`."""
+        return self.bus.touch_g(nbytes)

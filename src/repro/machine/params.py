@@ -143,6 +143,13 @@ class MachineParams:
     #: forward (responses return the rest of the way round). Zero disables
     #: topology modelling (uniform remote latency).
     sci_hop_latency: float = 0.35e-6
+    #: SCI topology: 0 = single ringlet (the paper's testbed); W > 0 = a 2D
+    #: torus of unidirectional ringlets with W nodes per row (the Dolphin
+    #: arrangement for large installations). Torus routing is
+    #: dimension-ordered, so the worst-case hop count is (W-1) + (H-1)
+    #: instead of N-1 — the property the 64/256/1024-node SCI presets rely
+    #: on to keep remote latencies flat as the node axis scales.
+    sci_torus_width: int = 0
 
     # --------------------------------------------------------- DSM software
     #: Software cost of taking a page fault and entering the DSM handler

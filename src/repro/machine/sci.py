@@ -36,9 +36,14 @@ class SciInterconnect(Network):
         self.framing_bytes = 16
         # Ring-hop latency table: hop_delay() reduces to one indexed load.
         # Each entry is the product the old code computed per call, so the
-        # memoized cost is bit-identical.
+        # memoized cost is bit-identical. Torus routing indexes the same
+        # table (its worst-case hop count never exceeds N-1).
         self._hop_cost: List[float] = [
             h * params.sci_hop_latency for h in range(n_nodes)]
+        self._torus_width = params.sci_torus_width
+        self._torus_height = ((n_nodes + self._torus_width - 1)
+                              // self._torus_width
+                              if self._torus_width > 0 else 0)
         # Per-size transfer-time memos for the transaction API (page-sized
         # reads/writes dominate, so the key set stays tiny).
         self._read_tx: Dict[int, float] = {}
@@ -60,14 +65,39 @@ class SciInterconnect(Network):
 
     # ---------------------------------------------------------- transactions
     def hop_delay(self, src: Optional[int], dst: Optional[int]) -> float:
-        """Ring-topology latency component: SCI request packets travel
+        """Topology-dependent latency component.
+
+        Ring (default, ``sci_torus_width == 0``): SCI request packets travel
         ``(dst - src) mod N`` link hops forward around the ringlet (the
         response completes the loop, folded into the base latency).
+
+        2D torus (``sci_torus_width == W > 0``, the large-cluster Dolphin
+        arrangement): node ``i`` sits at ``(i mod W, i div W)``; requests use
+        dimension-order routing on unidirectional ringlets, so the hop count
+        is the sum of the per-dimension forward ring distances. This bounds
+        the worst-case path by ``(W-1) + (H-1)`` instead of ``N-1`` — the
+        property that keeps 1024-node SCI latencies flat.
+
         Zero when topology modelling is disabled or endpoints unknown."""
         if (src is None or dst is None or src == dst
                 or self.params.sci_hop_latency <= 0):
             return 0.0
+        w = self._torus_width
+        if w > 0:
+            h = self._torus_height
+            hops = ((dst % w - src % w) % w) + ((dst // w - src // w) % h)
+            return self._hop_cost[hops]
         return self._hop_cost[(dst - src) % self.n_nodes]
+
+    def _read_cost(self, nbytes: int, src: Optional[int],
+                   dst: Optional[int]) -> float:
+        p = self.params
+        tx = self._read_tx.get(nbytes)
+        if tx is None:
+            tx = self._read_tx[nbytes] = nbytes / p.sci_read_bandwidth
+        self.remote_reads += 1
+        self.remote_read_bytes += nbytes
+        return p.sci_read_latency + self.hop_delay(src, dst) + tx
 
     def remote_read(self, nbytes: int, src: Optional[int] = None,
                     dst: Optional[int] = None) -> None:
@@ -75,14 +105,24 @@ class SciInterconnect(Network):
         node's memory. Reads stall the CPU for the full round trip."""
         if nbytes <= 0:
             return
+        self.engine.require_process().hold(self._read_cost(nbytes, src, dst))
+
+    def remote_read_g(self, nbytes: int, src: Optional[int] = None,
+                      dst: Optional[int] = None):
+        """Stackless twin of :meth:`remote_read`."""
+        if nbytes <= 0:
+            return
+        yield self._read_cost(nbytes, src, dst)
+
+    def _write_cost(self, nbytes: int, src: Optional[int],
+                    dst: Optional[int]) -> float:
         p = self.params
-        tx = self._read_tx.get(nbytes)
+        tx = self._write_tx.get(nbytes)
         if tx is None:
-            tx = self._read_tx[nbytes] = nbytes / p.sci_read_bandwidth
-        cost = p.sci_read_latency + self.hop_delay(src, dst) + tx
-        self.remote_reads += 1
-        self.remote_read_bytes += nbytes
-        self.engine.require_process().hold(cost)
+            tx = self._write_tx[nbytes] = nbytes / p.sci_write_bandwidth
+        self.remote_writes += 1
+        self.remote_write_bytes += nbytes
+        return p.sci_write_latency + self.hop_delay(src, dst) + tx
 
     def remote_write(self, nbytes: int, src: Optional[int] = None,
                      dst: Optional[int] = None) -> None:
@@ -91,26 +131,37 @@ class SciInterconnect(Network):
         and bulk streams run at the write bandwidth."""
         if nbytes <= 0:
             return
-        p = self.params
-        tx = self._write_tx.get(nbytes)
-        if tx is None:
-            tx = self._write_tx[nbytes] = nbytes / p.sci_write_bandwidth
-        cost = p.sci_write_latency + self.hop_delay(src, dst) + tx
-        self.remote_writes += 1
-        self.remote_write_bytes += nbytes
-        self.engine.require_process().hold(cost)
+        self.engine.require_process().hold(self._write_cost(nbytes, src, dst))
+
+    def remote_write_g(self, nbytes: int, src: Optional[int] = None,
+                       dst: Optional[int] = None):
+        """Stackless twin of :meth:`remote_write`."""
+        if nbytes <= 0:
+            return
+        yield self._write_cost(nbytes, src, dst)
+
+    def _atomic_cost(self, src: Optional[int], dst: Optional[int]) -> float:
+        self.atomics += 1
+        return self.params.sci_atomic_latency + self.hop_delay(src, dst)
 
     def remote_atomic(self, src: Optional[int] = None,
                       dst: Optional[int] = None) -> None:
         """Charge for one remote atomic transaction (fetch&inc — the lock
         and barrier substrate on SCI)."""
-        self.atomics += 1
-        self.engine.require_process().hold(
-            self.params.sci_atomic_latency + self.hop_delay(src, dst))
+        self.engine.require_process().hold(self._atomic_cost(src, dst))
+
+    def remote_atomic_g(self, src: Optional[int] = None,
+                        dst: Optional[int] = None):
+        """Stackless twin of :meth:`remote_atomic`."""
+        yield self._atomic_cost(src, dst)
 
     def flush_write_buffer(self) -> None:
         """Charge for draining the posted-write buffer (consistency point)."""
         self.engine.require_process().hold(self.params.sci_flush_cost)
+
+    def flush_write_buffer_g(self):
+        """Stackless twin of :meth:`flush_write_buffer`."""
+        yield self.params.sci_flush_cost
 
     def map_pages(self, n_pages: int) -> None:
         """Charge the one-time kernel cost of mapping ``n_pages`` remote
@@ -118,6 +169,12 @@ class SciInterconnect(Network):
         if n_pages <= 0:
             return
         self.engine.require_process().hold(n_pages * self.params.sci_map_page_cost)
+
+    def map_pages_g(self, n_pages: int):
+        """Stackless twin of :meth:`map_pages`."""
+        if n_pages <= 0:
+            return
+        yield n_pages * self.params.sci_map_page_cost
 
     def reset_stats(self) -> None:
         super().reset_stats()

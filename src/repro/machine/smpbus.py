@@ -39,15 +39,8 @@ class MemoryBus:
         #: accumulated virtual seconds processes spent waiting for the bus
         self.contention_time: float = 0.0
 
-    def touch(self, nbytes: int) -> None:
-        """Charge the calling process for moving ``nbytes`` over this bus.
-
-        The process blocks until its transfer completes: queueing delay (if
-        the bus is busy) + fixed latency + ``nbytes``/bandwidth.
-        """
-        if nbytes <= 0:
-            return
-        proc = self.engine.require_process()
+    def _charge(self, nbytes: int) -> float:
+        """Book the transfer on the bus; returns the caller's wait time."""
         now = self.engine.now
         start = max(now, self._free_at)
         xfer = self._xfer_cache.get(nbytes)
@@ -57,7 +50,24 @@ class MemoryBus:
         self._free_at = start + xfer
         self.contention_time += start - now
         self.bytes_transferred += nbytes
-        proc.hold(self._free_at - now)
+        return self._free_at - now
+
+    def touch(self, nbytes: int) -> None:
+        """Charge the calling process for moving ``nbytes`` over this bus.
+
+        The process blocks until its transfer completes: queueing delay (if
+        the bus is busy) + fixed latency + ``nbytes``/bandwidth.
+        """
+        if nbytes <= 0:
+            return
+        proc = self.engine.require_process()
+        proc.hold(self._charge(nbytes))
+
+    def touch_g(self, nbytes: int):
+        """Stackless twin of :meth:`touch` (``yield from bus.touch_g(n)``)."""
+        if nbytes <= 0:
+            return
+        yield self._charge(nbytes)
 
     def reset_stats(self) -> None:
         self.bytes_transferred = 0

@@ -161,15 +161,39 @@ class SharedArray:
         buf = self.dsm.access_runs(self.region, runs, write=True)
         self._view(buf)[index] = value
 
+    def get_g(self, index: Any):
+        """Generator kernel of ``self[index]`` (``yield from`` it) —
+        stackless bodies cannot block inside ``[]`` operators, so they read
+        through this twin instead."""
+        runs = self._runs(index)
+        buf = yield from self.dsm.access_runs_g(self.region, runs, write=False)
+        return np.array(self._view(buf)[index], copy=True)
+
+    def set_g(self, index: Any, value: Any):
+        """Generator kernel of ``self[index] = value`` (``yield from`` it)."""
+        runs = self._runs(index)
+        buf = yield from self.dsm.access_runs_g(self.region, runs, write=True)
+        self._view(buf)[index] = value
+
     def read(self, index: Any = ()) -> np.ndarray:
         """Alias for ``self[index]`` (whole array by default)."""
         if index == ():
             index = tuple(slice(None) for _ in self.shape)
         return self[index]
 
+    def read_g(self, index: Any = ()):
+        """Generator kernel of :meth:`read` (``yield from`` it)."""
+        if index == ():
+            index = tuple(slice(None) for _ in self.shape)
+        return self.get_g(index)
+
     def write(self, index: Any, value: Any) -> None:
         """Alias for ``self[index] = value``."""
         self[index] = value
+
+    def write_g(self, index: Any, value: Any):
+        """Generator kernel of :meth:`write` (``yield from`` it)."""
+        return self.set_g(index, value)
 
     def refresh(self, index: Any = ()) -> None:
         """Drop stale cached copies of the pages under ``index`` (whole
@@ -177,6 +201,12 @@ class SharedArray:
         if index == ():
             index = tuple(slice(None) for _ in self.shape)
         self.dsm.refresh_runs(self.region, self._runs(index))
+
+    def refresh_g(self, index: Any = ()):
+        """Generator kernel of :meth:`refresh` (``yield from`` it)."""
+        if index == ():
+            index = tuple(slice(None) for _ in self.shape)
+        return self.dsm.refresh_runs_g(self.region, self._runs(index))
 
     # --------------------------------------------------------------- sugar
     @property

@@ -10,6 +10,7 @@ the ``API_CALLS`` manifest the Table 2 complexity measurement counts.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, ClassVar, List, Optional, Sequence, Tuple
 
 from repro.core.hamster import Hamster
@@ -69,7 +70,15 @@ class ProgrammingModel:
     def run(self, main: Callable, args: tuple = ()) -> List[Any]:
         """Launch ``main(model, *args)`` SPMD-style on every rank — the
         default external-startup template. Thread-structured models
-        override this (they start a single main thread)."""
+        override this (they start a single main thread). A generator-
+        function ``main`` runs stackless under the generator backend."""
+        if inspect.isgeneratorfunction(main):
+            model = self
+
+            def shim(env, *a):
+                return (yield from main(model, *a))
+
+            return self.hamster.run_spmd(shim, args=args)
         return self.hamster.run_spmd(lambda env, *a: main(self, *a), args=args)
 
     # ------------------------------------------------------------ reflection

@@ -13,6 +13,7 @@ model.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
@@ -48,7 +49,20 @@ class NativeJiaJiaApi:
         self.hamster.cluster.node(self.dsm.node_of(rank)).cpu_time(
             self._params.native_call_overhead)
 
+    def _charge_g(self):
+        """Generator kernel of :meth:`_charge` (``yield from`` it)."""
+        rank = self.dsm.current_rank()
+        return self.hamster.cluster.node(self.dsm.node_of(rank)).cpu_time_g(
+            self._params.native_call_overhead)
+
     def run(self, main: Callable, args: tuple = ()) -> List[Any]:
+        if inspect.isgeneratorfunction(main):
+            api = self
+
+            def shim(env, *a):
+                return (yield from main(api, *a))
+
+            return self.hamster.run_spmd(shim, args=args)
         return self.hamster.run_spmd(lambda env, *a: main(self, *a), args=args)
 
     # ------------------------------------------------------------------ api
@@ -56,19 +70,39 @@ class NativeJiaJiaApi:
         self._charge()
         return self.dsm.current_rank(), self.dsm.n_procs
 
+    def jia_init_g(self):
+        yield from self._charge_g()
+        return self.dsm.current_rank(), self.dsm.n_procs
+
     def jia_exit(self) -> None:
         self._charge()
         self.dsm.barrier()
 
+    def jia_exit_g(self):
+        yield from self._charge_g()
+        yield from self.dsm.barrier_g()
+
     def jia_alloc(self, nbytes: int, distribution: Optional[Distribution] = None):
         self._charge()
         return self._collective(lambda: self.dsm.allocate(nbytes, distribution=distribution))
+
+    def jia_alloc_g(self, nbytes: int, distribution: Optional[Distribution] = None):
+        yield from self._charge_g()
+        return (yield from self._collective_g(
+            lambda: self.dsm.allocate(nbytes, distribution=distribution)))
 
     def jia_alloc_array(self, shape: Sequence[int], dtype: Any = np.float64,
                         name: str = "", distribution: Optional[Distribution] = None):
         self._charge()
         return self._collective(lambda: self.dsm.make_array(
             shape, dtype=dtype, name=name, distribution=distribution))
+
+    def jia_alloc_array_g(self, shape: Sequence[int], dtype: Any = np.float64,
+                          name: str = "",
+                          distribution: Optional[Distribution] = None):
+        yield from self._charge_g()
+        return (yield from self._collective_g(lambda: self.dsm.make_array(
+            shape, dtype=dtype, name=name, distribution=distribution)))
 
     def _collective(self, make):
         rank = self.dsm.current_rank()
@@ -79,18 +113,45 @@ class NativeJiaJiaApi:
         self.dsm.barrier()
         return self._alloc_results[seq]
 
+    def _collective_g(self, make):
+        # ``make`` is host-side (pure allocation, no virtual-time cost);
+        # only the rendezvous barrier blocks.
+        rank = self.dsm.current_rank()
+        seq = self._alloc_seq.get(rank, 0)
+        self._alloc_seq[rank] = seq + 1
+        if seq not in self._alloc_results:
+            self._alloc_results[seq] = make()
+        yield from self.dsm.barrier_g()
+        return self._alloc_results[seq]
+
     def jia_lock(self, lock_id: int) -> None:
         self._charge()
         self.dsm.lock(lock_id)
+
+    def jia_lock_g(self, lock_id: int):
+        yield from self._charge_g()
+        yield from self.dsm.lock_g(lock_id)
 
     def jia_unlock(self, lock_id: int) -> None:
         self._charge()
         self.dsm.unlock(lock_id)
 
+    def jia_unlock_g(self, lock_id: int):
+        yield from self._charge_g()
+        yield from self.dsm.unlock_g(lock_id)
+
     def jia_barrier(self) -> None:
         self._charge()
         self.dsm.barrier()
 
+    def jia_barrier_g(self):
+        yield from self._charge_g()
+        yield from self.dsm.barrier_g()
+
     def jia_wtime(self) -> float:
         self._charge()
+        return self.hamster.engine.now
+
+    def jia_wtime_g(self):
+        yield from self._charge_g()
         return self.hamster.engine.now

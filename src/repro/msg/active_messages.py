@@ -47,6 +47,7 @@ handler that defers a reply blocks nothing, and the caller keeps waiting
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from collections import deque
 from dataclasses import dataclass
@@ -54,7 +55,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Set
 
 from repro.errors import MessagingError, NodeFailedError, TimeoutError
 from repro.machine.interconnect import Message, Network
-from repro.sim.process import SimProcess
+from repro.sim.process import PARK, SimProcess
 from repro.sim.resources import SimQueue
 
 __all__ = ["Reply", "Handler", "RetryPolicy", "ActiveMessageLayer"]
@@ -100,6 +101,9 @@ class Reply:
 
 #: Handler signature: ``handler(msg) -> Optional[Reply]``. Returning ``None``
 #: for an RPC message defers the reply (handler must call ``reply()`` later).
+#: A handler may instead be a generator function following the yield-point
+#: contract of :mod:`repro.sim.process`; the server loop drives it inline
+#: and its ``return`` value plays the same ``Optional[Reply]`` role.
 Handler = Callable[[Message], Optional[Reply]]
 
 
@@ -180,10 +184,12 @@ class ActiveMessageLayer:
         proc.start()
         self._servers[node_id] = proc
 
-    def _server_loop(self, proc: SimProcess, node_id: int, q: SimQueue) -> None:
+    def _server_loop(self, proc: SimProcess, node_id: int, q: SimQueue):
+        # Generator-function body: the server runs stackless under the
+        # generator engine backend and is trampolined by the thread backend.
         node = self.cluster.node(node_id)
         while True:
-            msg = q.get()
+            msg = yield from q.get_g()
             if msg.kind == ACK_KIND:
                 # Pure control frame: cancels the retransmission timer.
                 self._outstanding.pop(msg.payload, None)
@@ -197,8 +203,8 @@ class ActiveMessageLayer:
                                       rank=node_id, node=node_id,
                                       msg=msg.kind, src=msg.src):
                 # Receiver-side software cost: NIC/stack + AM dispatch.
-                node.cpu_time(self.network.receiver_cpu_overhead()
-                              + self._overhead_for(msg.kind))
+                yield from node.cpu_time_g(self.network.receiver_cpu_overhead()
+                                           + self._overhead_for(msg.kind))
                 if self._reliable is not None and not self._accept(node_id, msg):
                     continue  # duplicate: acked again above, handler skipped
                 if msg.is_reply:
@@ -209,8 +215,12 @@ class ActiveMessageLayer:
                     raise MessagingError(
                         f"node {node_id}: no handler for message kind {msg.kind!r}")
                 result = handler(msg)
+                if inspect.isgenerator(result):
+                    # Generator handler: run it inline on the server's
+                    # process context, exactly like a plain call.
+                    result = yield from result
                 if result is not None and msg.rpc_token is not None:
-                    self.reply(msg, result.payload, result.size)
+                    yield from self.reply_g(msg, result.payload, result.size)
 
     def _complete_rpc(self, msg: Message) -> None:
         call = self._pending.pop(msg.rpc_token, None)
@@ -250,18 +260,18 @@ class ActiveMessageLayer:
             return self.stack_overhead
         return self._channel_overhead[best]
 
-    def _charge_send(self, src: int, kind: str) -> None:
-        self.cluster.node(src).cpu_time(
+    def _charge_send_g(self, src: int, kind: str):
+        return self.cluster.node(src).cpu_time_g(
             self.network.sender_cpu_overhead() + self._overhead_for(kind))
 
-    def post(self, src: int, dst: int, kind: str, payload: Any = None,
-             size: int = 0) -> None:
-        """One-way active message from ``src`` to ``dst``."""
+    def post_g(self, src: int, dst: int, kind: str, payload: Any = None,
+               size: int = 0):
+        """Generator kernel of :meth:`post` (``yield from`` it)."""
         obs = self.engine.obs
         with obs.span("am.post", msg=kind, src=src, dst=dst):
             self._check_dead(dst)
             self.posts += 1
-            self._charge_send(src, kind)
+            yield from self._charge_send_g(src, kind)
             msg = Message(src=src, dst=dst, kind=kind,
                           size=size + AM_HEADER_BYTES, payload=payload)
             if obs.enabled:
@@ -274,10 +284,14 @@ class ActiveMessageLayer:
                 # lost for good: abort with a typed error, never corrupt.
                 self._track(msg, self.engine._report_exception)
 
-    def rpc(self, src: int, dst: int, kind: str, payload: Any = None,
-            size: int = 0) -> Any:
-        """Request/reply; blocks the calling process until the handler at
-        ``dst`` answers. Returns the reply payload."""
+    def post(self, src: int, dst: int, kind: str, payload: Any = None,
+             size: int = 0) -> None:
+        """One-way active message from ``src`` to ``dst``."""
+        return self.engine.kernel(self.post_g(src, dst, kind, payload, size))
+
+    def rpc_g(self, src: int, dst: int, kind: str, payload: Any = None,
+              size: int = 0):
+        """Generator kernel of :meth:`rpc` (``yield from`` it)."""
         caller = self.engine.require_process()
         obs = self.engine.obs
         with obs.span("am.rpc", msg=kind, src=src, dst=dst):
@@ -286,7 +300,7 @@ class ActiveMessageLayer:
             call = _PendingCall(caller, dst=dst)
             self._pending[token] = call
             self.rpcs += 1
-            self._charge_send(src, kind)
+            yield from self._charge_send_g(src, kind)
             msg = Message(src=src, dst=dst, kind=kind,
                           size=size + AM_HEADER_BYTES, payload=payload,
                           rpc_token=token)
@@ -307,17 +321,22 @@ class ActiveMessageLayer:
             # protocol work from time spent parked.
             with obs.span("am.wait", msg=kind, dst=dst):
                 while not call.done and call.failed is None:
-                    caller.suspend()
+                    yield PARK
             if call.failed is not None:
                 raise call.failed
             return call.result
 
-    def reply(self, request: Message, payload: Any = None, size: int = 0) -> None:
-        """Answer an RPC ``request`` (immediately from its handler, or later
-        from any process on the handling node — deferred grant)."""
+    def rpc(self, src: int, dst: int, kind: str, payload: Any = None,
+            size: int = 0) -> Any:
+        """Request/reply; blocks the calling process until the handler at
+        ``dst`` answers. Returns the reply payload."""
+        return self.engine.kernel(self.rpc_g(src, dst, kind, payload, size))
+
+    def reply_g(self, request: Message, payload: Any = None, size: int = 0):
+        """Generator kernel of :meth:`reply` (``yield from`` it)."""
         if request.rpc_token is None:
             raise MessagingError("reply() to a message that is not an rpc")
-        self._charge_send(request.dst, request.kind)
+        yield from self._charge_send_g(request.dst, request.kind)
         msg = Message(src=request.dst, dst=request.src, kind="__reply__",
                       size=size + AM_HEADER_BYTES, payload=payload,
                       rpc_token=request.rpc_token, is_reply=True)
@@ -326,6 +345,15 @@ class ActiveMessageLayer:
         self.network.send(msg)
         if self._reliable is not None and request.src not in self._dead:
             self._track(msg, self.engine._report_exception)
+
+    def reply(self, request: Message, payload: Any = None, size: int = 0) -> None:
+        """Answer an RPC ``request`` (immediately from its handler, or later
+        from any process on the handling node — deferred grant)."""
+        if request.rpc_token is None:
+            # Validate before requiring process context, so misuse from
+            # engine context still surfaces as a messaging error.
+            raise MessagingError("reply() to a message that is not an rpc")
+        return self.engine.kernel(self.reply_g(request, payload, size))
 
     # ------------------------------------------------------- reliable mode
     @property

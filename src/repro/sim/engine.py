@@ -84,16 +84,33 @@ class Engine:
         Event-queue implementation: ``"calendar"`` (default) or ``"heap"``
         (the differential reference). The ``REPRO_ENGINE_QUEUE`` environment
         variable overrides the default for unparameterized construction.
+    procs:
+        Process backend: ``"generator"`` (default; generator-function
+        bodies run stackless, driven by the dispatch loop) or ``"thread"``
+        (the differential reference: every process owns a backing thread
+        with baton hand-off). The ``REPRO_ENGINE_PROCS`` environment
+        variable overrides the default, mirroring the queue selection.
     """
 
     def __init__(self, trace: Optional[Tracer] = None,
-                 queue: Optional[str] = None) -> None:
+                 queue: Optional[str] = None,
+                 procs: Optional[str] = None) -> None:
         self._now: float = 0.0
         self._seq: int = 0
         if queue is None:
             queue = os.environ.get("REPRO_ENGINE_QUEUE", "calendar")
         self.queue_kind = queue
         self._queue = make_queue(queue)
+        if procs is None:
+            procs = os.environ.get("REPRO_ENGINE_PROCS", "generator")
+        if procs not in ("generator", "thread"):
+            raise SimulationError(
+                f"unknown process backend {procs!r}; "
+                "expected 'generator' or 'thread'")
+        self.procs_kind = procs
+        # Per-engine pid allocation: a fresh engine hands out pid 1 first,
+        # so process identities never leak across engines or test cases.
+        self._next_pid: int = 0
         self._processes: list = []  # all SimProcess instances ever started
         self._current = None  # the SimProcess whose thread is running, if any
         self._running = False
@@ -169,6 +186,10 @@ class Engine:
     def register(self, process) -> None:
         self._processes.append(process)
 
+    def _alloc_pid(self) -> int:
+        self._next_pid += 1
+        return self._next_pid
+
     @property
     def current_process(self):
         """The simulated process currently executing, or ``None`` when the
@@ -185,6 +206,35 @@ class Engine:
         if self._current is None:
             raise SimulationError("operation requires a simulated process context")
         return self._current
+
+    def kernel(self, gen):
+        """Run a generator-style middleware kernel from blocking context.
+
+        Blocking service wrappers are one-liners over their ``*_g`` twins::
+
+            def lock(self, lock_id):
+                return self.engine.kernel(self.lock_g(lock_id))
+
+        so both process backends execute the *same* kernel code: the thread
+        backend trampolines it here (``yield``s become ``hold``/``suspend``
+        on the calling process), the generator backend reaches the twin
+        directly via ``yield from`` and never enters this method.
+
+        From engine context (no current process) a kernel may still run as
+        long as it completes without yielding — this keeps non-blocking
+        default implementations (e.g. a hardware-coherent substrate's
+        ``sync_consistency``) callable from host-side code, while any
+        attempt to actually block surfaces the usual context error.
+        """
+        proc = self._current
+        if proc is not None:
+            return proc.drive(gen)
+        try:
+            gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+        gen.close()
+        raise SimulationError("operation requires a simulated process context")
 
     # -------------------------------------------------------------- dispatch
     def _advance(self, origin):
@@ -225,6 +275,15 @@ class Engine:
             if isinstance(action, SimProcess):
                 if not action.alive:
                     continue  # stale resume for a finished process
+                if action.stackless:
+                    # Step the generator frame inline on this thread; it
+                    # returns at its next yield point (or on exit), so the
+                    # dispatch loop simply continues. A stackless process
+                    # never re-enters _advance — no reentrancy to guard.
+                    self._current = action
+                    action._step()
+                    self._current = None
+                    continue
                 if action is origin:
                     self._current = origin
                     return "self"

@@ -1,21 +1,37 @@
-"""Thread-backed simulated processes.
+"""Simulated processes: stackless generator coroutines or backing threads.
 
-Each :class:`SimProcess` owns a real Python thread, but the engine enforces
-strict hand-off: exactly one of {the run() caller, some process thread} runs
-at any instant. This gives the framework the ergonomics of blocking code —
-middleware can call ``hold()`` or wait on a lock arbitrarily deep in its
-call stack, with no generator/yield plumbing — while staying fully
-deterministic: the order of execution is decided solely by the virtual-time
-event queue.
+A :class:`SimProcess` is a simulated thread of control scheduled in virtual
+time. Two execution backends implement it (``Engine(procs=...)`` /
+``REPRO_ENGINE_PROCS``, mirroring the event-queue selection):
 
-Hand-off uses one raw lock (a *baton*) per process, held whenever the
-process is not running. Giving up control means running the engine's
-dispatch loop inline (:meth:`repro.sim.engine.Engine._advance`) and, only
-if control actually moved to another thread, blocking on the baton until a
-dispatcher hands it back. A process resumed by its own next event (a plain
-``hold``, or an RPC whose reply callback ran inline) never touches a lock.
-Process resumes are scheduled as the process object itself — the dispatcher
-recognizes it and transfers control instead of calling it.
+* ``"generator"`` (default) — a process whose body is a *generator
+  function* runs **stackless**: the body yields at every blocking point and
+  the engine's dispatch loop drives it with one frame switch per context
+  switch. No OS thread, no baton lock, ~KBs of state per process — this is
+  what makes 1024-node topologies practical. Bodies that are plain
+  callables still get a backing thread (legacy code keeps working).
+* ``"thread"`` — the differential reference. Every process owns a real
+  Python thread with strict baton hand-off; generator-function bodies are
+  trampolined on the thread (:meth:`SimProcess.drive`), so *the same body
+  code* runs under both backends and the golden-run harness can assert the
+  two bit-identical.
+
+The yield-point contract for generator bodies (and the ``*_g`` middleware
+kernels they call via ``yield from``):
+
+* ``yield <seconds>`` — advance this process's virtual time (the stackless
+  form of :meth:`hold`); durations ``<= 0`` are no-ops, exactly like
+  ``hold``.
+* ``yield PARK`` — park until some other event schedules this process
+  (the stackless form of :meth:`suspend`/:meth:`wake`). Resumes can be
+  spurious, so code parks in a re-checking loop when it waits for a
+  condition — the same discipline the blocking primitives already follow.
+
+Blocking methods (``hold``/``suspend``/``join``/…) raise from a stackless
+process: middleware reachable from generator bodies must route through its
+``*_g`` twin (see docs/architecture.md). Both backends execute those same
+twins — the blocking wrappers drive them through :meth:`Engine.kernel` — so
+the two backends cannot drift apart.
 
 The design mirrors the paper's setting, where each cluster node runs one
 application process; here a "node process" is a ``SimProcess`` whose virtual
@@ -25,12 +41,27 @@ time advances as it computes, touches memory, and exchanges messages.
 from __future__ import annotations
 
 import _thread
+import inspect
 import threading
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["SimProcess"]
+__all__ = ["SimProcess", "PARK"]
+
+
+class _Park:
+    """Sentinel yielded by generator bodies to park until the next dispatch."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "PARK"
+
+
+#: Yield this from a generator-style process body to block indefinitely
+#: until another process/event schedules the process (see module docs).
+PARK = _Park()
 
 
 class SimProcess:
@@ -43,16 +74,17 @@ class SimProcess:
     fn:
         The Python callable executed by the process. It receives this
         process as its first argument followed by ``args``/``kwargs``.
+        A *generator function* body runs stackless under the generator
+        backend and is trampolined on a thread under the thread backend.
     name:
         Debug name; appears in traces and deadlock reports.
     """
 
-    _ids = 0
-
     def __init__(self, engine, fn: Callable, args: tuple = (), kwargs: Optional[dict] = None,
                  name: str = "proc", daemon: bool = False) -> None:
-        SimProcess._ids += 1
-        self.pid = SimProcess._ids
+        # Pids are allocated per engine (a fresh engine starts at pid 1),
+        # so ids never leak across engines or test cases.
+        self.pid = engine._alloc_pid()
         self.engine = engine
         self.name = name
         self._fn = fn
@@ -62,12 +94,15 @@ class SimProcess:
         #: do not keep the simulation alive.
         self.daemon = daemon
         self._thread: Optional[threading.Thread] = None
-        # The hand-off baton: held (locked) whenever this process is not
-        # running; a dispatcher releases it to transfer control here.
-        # Created locked so the thread parks until its first dispatch.
-        baton = _thread.allocate_lock()
-        baton.acquire()
-        self._baton = baton
+        #: True once started with a generator body under the generator
+        #: backend: no thread, no baton; the dispatch loop steps the frame.
+        self.stackless = False
+        self._gen = None
+        # The hand-off baton (thread-backed processes only): held (locked)
+        # whenever the process is not running; a dispatcher releases it to
+        # transfer control. Created at start() so stackless processes carry
+        # no lock at all.
+        self._baton = None
         self.alive = False
         self.started = False
         self.result: Any = None
@@ -89,8 +124,19 @@ class SimProcess:
             raise SimulationError(f"{self} already started")
         self.started = True
         self.alive = True
-        self._thread = threading.Thread(target=self._bootstrap, name=str(self), daemon=True)
-        self._thread.start()
+        if (self.engine.procs_kind == "generator"
+                and inspect.isgeneratorfunction(self._fn)):
+            # Stackless: instantiating the generator runs no body code; the
+            # first dispatch steps it to its first yield point.
+            self.stackless = True
+            self._gen = self._fn(self, *self._args, **self._kwargs)
+        else:
+            baton = _thread.allocate_lock()
+            baton.acquire()  # created locked: thread parks until first dispatch
+            self._baton = baton
+            self._thread = threading.Thread(target=self._bootstrap,
+                                            name=str(self), daemon=True)
+            self._thread.start()
         self.engine.schedule(delay, self)
         return self
 
@@ -99,7 +145,12 @@ class SimProcess:
         # engine._current before releasing the baton).
         self._baton.acquire()
         try:
-            self.result = self._fn(self, *self._args, **self._kwargs)
+            result = self._fn(self, *self._args, **self._kwargs)
+            if inspect.isgenerator(result):
+                # Generator-style body under the thread backend: trampoline
+                # it here so both backends execute the same body code.
+                result = self.drive(result)
+            self.result = result
         except BaseException as exc:  # noqa: BLE001 - propagated to engine.run()
             self.exception = exc
             self.engine._report_exception(exc)
@@ -115,6 +166,91 @@ class SimProcess:
             # dispatched — alive is False), then let the thread exit.
             self.engine._advance(self)
 
+    # ------------------------------------------------------------- stackless
+    def _step(self) -> None:
+        """Advance the stackless body to its next yield point.
+
+        Called by the engine's dispatch loop whenever this process's resume
+        event is dispatched (``engine._current`` is already set). Never
+        raises: body exceptions are reported to the engine exactly like the
+        thread backend's ``_bootstrap`` does.
+        """
+        gen = self._gen
+        engine = self.engine
+        send = gen.send
+        while True:
+            try:
+                effect = send(None)
+            except StopIteration as stop:
+                self.result = stop.value
+                break
+            except BaseException as exc:  # noqa: BLE001 - re-raised from run()
+                self.exception = exc
+                engine._report_exception(exc)
+                break
+            if effect is PARK:
+                return
+            if isinstance(effect, (float, int)):
+                if effect > 0:
+                    engine.schedule(effect, self)
+                    return
+                continue  # non-positive holds are no-ops, like hold()
+            err = SimulationError(
+                f"{self}: generator body yielded {effect!r}; expected PARK "
+                "or a hold duration in seconds")
+            self.exception = err
+            engine._report_exception(err)
+            gen.close()
+            break
+        self._finish()
+
+    def _finish(self) -> None:
+        """Terminal bookkeeping, mirroring ``_bootstrap``'s finally block."""
+        self.alive = False
+        self._gen = None
+        self.engine.trace.emit("proc.exit", proc=str(self))
+        for waiter in self._waiters:
+            self.engine.schedule(0.0, waiter)
+        self._waiters.clear()
+
+    def drive(self, gen) -> Any:
+        """Run a generator-style kernel to completion from blocking context.
+
+        The thread-backed trampoline: ``yield <seconds>`` becomes
+        :meth:`hold`, ``yield PARK`` becomes :meth:`suspend`. Blocking
+        wrappers around ``*_g`` middleware kernels use this (via
+        :meth:`Engine.kernel`), so thread-backed and stackless execution
+        share one implementation of every protocol.
+        """
+        if self.stackless:
+            # A kernel that never yields (zero-cost charge, pure query) is
+            # fine from stackless context; one that blocks must be reached
+            # through its *_g twin instead.
+            try:
+                gen.send(None)
+            except StopIteration as stop:
+                return stop.value
+            gen.close()
+            raise SimulationError(
+                f"{self}: blocking call inside a stackless process; "
+                "generator-backend code must 'yield from' the *_g variant "
+                "of this operation instead")
+        send = gen.send
+        while True:
+            try:
+                effect = send(None)
+            except StopIteration as stop:
+                return stop.value
+            if effect is PARK:
+                self.suspend()
+            elif isinstance(effect, (float, int)):
+                self.hold(effect)
+            else:
+                gen.close()
+                raise SimulationError(
+                    f"{self}: generator kernel yielded {effect!r}; expected "
+                    "PARK or a hold duration in seconds")
+
     # -------------------------------------------------------------- handoff
     def _park(self) -> None:
         """Give up control; return when a dispatcher hands it back."""
@@ -128,10 +264,14 @@ class SimProcess:
         This is the fundamental cost-charging primitive: CPU cycles, memory
         latencies, and protocol overheads all reduce to ``hold`` calls.
         A zero or negative duration is a no-op (costs can legitimately
-        round to zero).
+        round to zero). Stackless bodies ``yield duration`` instead.
         """
         if duration <= 0:
             return
+        if self.stackless:
+            raise SimulationError(
+                f"{self}: hold() inside a stackless process; the generator "
+                "body must 'yield duration' instead")
         engine = self.engine
         engine.schedule(duration, self)
         if engine._advance(self) == "handed":
@@ -139,6 +279,10 @@ class SimProcess:
 
     def suspend(self) -> None:
         """Block indefinitely until another process/event calls :meth:`wake`."""
+        if self.stackless:
+            raise SimulationError(
+                f"{self}: suspend() inside a stackless process; the "
+                "generator body must 'yield PARK' instead")
         self._park()
 
     def wake(self, delay: float = 0.0) -> None:
@@ -156,6 +300,15 @@ class SimProcess:
         if other.alive:
             other._waiters.append(self)
             self.suspend()
+        return other.result
+
+    def join_g(self, other: "SimProcess"):
+        """Stackless twin of :meth:`join` (``result = yield from p.join_g(q)``)."""
+        if other is self:
+            raise SimulationError("a process cannot join itself")
+        if other.alive:
+            other._waiters.append(self)
+            yield PARK
         return other.result
 
     # --------------------------------------------------------------- context

@@ -4,6 +4,14 @@ These are the simulation-kernel primitives the framework's *simulated*
 synchronization (HAMSTER locks, barriers, DSM protocol waits) is built on.
 They are strictly FIFO, which keeps runs deterministic and makes fairness
 properties testable.
+
+Every blocking operation is implemented **once**, as a generator kernel
+(``acquire_g``, ``wait_g``, ``get_g``, …) following the yield-point
+contract of :mod:`repro.sim.process`; the blocking method is a one-line
+wrapper that trampolines the kernel on the calling thread-backed process
+(:meth:`repro.sim.engine.Engine.kernel`). Stackless processes reach the
+kernels directly with ``yield from`` — both process backends therefore
+execute identical wait/wake sequences by construction.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from collections import deque
 from typing import Any, Deque, List, Optional
 
 from repro.errors import SimulationError, SynchronizationError
-from repro.sim.process import SimProcess
+from repro.sim.process import PARK, SimProcess
 
 __all__ = ["SimLock", "SimSemaphore", "SimCondition", "SimQueue", "SimBarrier"]
 
@@ -30,7 +38,7 @@ class SimLock:
     def locked(self) -> bool:
         return self.owner is not None
 
-    def acquire(self) -> None:
+    def acquire_g(self):
         proc = self.engine.require_process()
         if self.owner is None:
             self.owner = proc
@@ -38,8 +46,11 @@ class SimLock:
         if self.owner is proc:
             raise SynchronizationError(f"{proc} re-acquired non-recursive {self.name}")
         self._waiters.append(proc)
-        proc.suspend()
+        yield PARK
         # We are resumed by release() after it made us the owner.
+
+    def acquire(self) -> None:
+        return self.engine.kernel(self.acquire_g())
 
     def release(self) -> None:
         proc = self.engine.require_process()
@@ -76,13 +87,16 @@ class SimSemaphore:
     def value(self) -> int:
         return self._value
 
-    def acquire(self) -> None:
+    def acquire_g(self):
         proc = self.engine.require_process()
         if self._value > 0:
             self._value -= 1
             return
         self._waiters.append(proc)
-        proc.suspend()
+        yield PARK
+
+    def acquire(self) -> None:
+        return self.engine.kernel(self.acquire_g())
 
     def release(self, n: int = 1) -> None:
         for _ in range(n):
@@ -105,14 +119,17 @@ class SimCondition:
         self.lock = lock if lock is not None else SimLock(engine, name + ".lock")
         self._waiters: Deque[SimProcess] = deque()
 
-    def wait(self) -> None:
+    def wait_g(self):
         proc = self.engine.require_process()
         if self.lock.owner is not proc:
             raise SynchronizationError(f"wait on {self.name} without holding its lock")
         self._waiters.append(proc)
         self.lock.release()
-        proc.suspend()
-        self.lock.acquire()
+        yield PARK
+        yield from self.lock.acquire_g()
+
+    def wait(self) -> None:
+        return self.engine.kernel(self.wait_g())
 
     def signal(self) -> None:
         if self._waiters:
@@ -144,12 +161,15 @@ class SimQueue:
         if self._getters:
             self._getters.popleft().wake()
 
-    def get(self) -> Any:
+    def get_g(self):
         proc = self.engine.require_process()
         while not self._items:
             self._getters.append(proc)
-            proc.suspend()
+            yield PARK
         return self._items.popleft()
+
+    def get(self) -> Any:
+        return self.engine.kernel(self.get_g())
 
     def try_get(self) -> Any:
         """Non-blocking get; returns ``None`` when empty."""
@@ -172,9 +192,7 @@ class SimBarrier:
         self._waiting: List[SimProcess] = []
         self.generation = 0
 
-    def wait(self) -> int:
-        """Block until ``parties`` processes arrive; returns the generation
-        index that completed."""
+    def wait_g(self):
         proc = self.engine.require_process()
         gen = self.generation
         self._waiting.append(proc)
@@ -185,5 +203,10 @@ class SimBarrier:
                 if p is not proc:
                     p.wake()
             return gen
-        proc.suspend()
+        yield PARK
         return gen
+
+    def wait(self) -> int:
+        """Block until ``parties`` processes arrive; returns the generation
+        index that completed."""
+        return self.engine.kernel(self.wait_g())

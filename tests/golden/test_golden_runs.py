@@ -29,9 +29,14 @@ def test_every_scenario_has_a_golden(goldens):
     assert missing == [], f"run --record for: {missing}"
 
 
+@pytest.mark.parametrize("procs", ["thread", "generator"])
 @pytest.mark.parametrize("scenario_id", sorted(_SCENARIOS))
-def test_scenario_bit_identical(scenario_id, goldens):
-    problems = diffcheck.check_scenario(_SCENARIOS[scenario_id], goldens)
+def test_scenario_bit_identical(scenario_id, procs, goldens):
+    """Every scenario, under BOTH process backends, against the same
+    pre-overhaul goldens: the continuation scheduler must reproduce the
+    thread-era virtual-time behaviour bit for bit."""
+    problems = diffcheck.check_scenario(_SCENARIOS[scenario_id], goldens,
+                                        procs=procs)
     assert problems == []
 
 
@@ -47,10 +52,31 @@ def test_chaos_dual_run_heap_vs_calendar(scenario_id):
     assert diffcheck.diff_records(new, ref) == []
 
 
+@pytest.mark.parametrize("scenario_id",
+                         [sid for sid in sorted(_SCENARIOS)
+                          if sid.startswith("chaos/")])
+def test_chaos_dual_run_thread_vs_generator(scenario_id):
+    """Fault plans replay identically on both process backends: crash
+    cleanup, retransmission timing, and the typed outcome included."""
+    sc = _SCENARIOS[scenario_id]
+    ref = diffcheck.capture(sc, procs="thread")
+    new = diffcheck.capture(sc, procs="generator")
+    assert diffcheck.diff_records(new, ref) == []
+
+
 def test_figure_dual_run_spot():
     """One figure scenario through both queues (the full sweep runs in CI's
     diffcheck job; this keeps a scheduler-divergence canary in tier-1)."""
     sc = _SCENARIOS["fig/sw-dsm-2/PI"]
     ref = diffcheck.capture(sc, queue="heap")
     new = diffcheck.capture(sc, queue="calendar")
+    assert diffcheck.diff_records(new, ref) == []
+
+
+def test_figure_dual_procs_spot():
+    """One figure scenario through both process backends in one invocation
+    (the full 45-scenario sweep runs in CI's --dual-procs job)."""
+    sc = _SCENARIOS["fig/sw-dsm-2/PI"]
+    ref = diffcheck.capture(sc, procs="thread")
+    new = diffcheck.capture(sc, procs="generator")
     assert diffcheck.diff_records(new, ref) == []

@@ -93,7 +93,9 @@ class TestAppBehaviour:
         original = pi_mod.run_pi
 
         def sabotaged(api, **kw):
-            result = original(api, **kw)
+            # run_pi is a generator-function app body: drive it to completion
+            # (the wrapper is itself a generator so it stays stackless).
+            result = yield from original(api, **kw)
             return AppResult(app=result.app, rank=result.rank,
                              phases=result.phases, verified=False)
 
